@@ -1,0 +1,104 @@
+// Figure 9: ToR switch queue depth under permutation RDMA-write traffic,
+// comparing the multipath algorithms with 4 paths vs 128 paths per
+// connection.
+//
+// Paper setup: 30 GPU servers across two segments, 120 flows. Scaled here
+// to 32 endpoints / 32 flows (documented in EXPERIMENTS.md); per-link rates
+// match production (200G host links, 400G fabric links).
+//
+// Paper shape: with 4 paths, RR and OBS already beat Single/BestRTT; with
+// 128 paths every spraying algorithm collapses the average and maximum
+// queue depth (~90% reduction vs single path).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "collective/traffic.h"
+#include "common/stats.h"
+
+using namespace stellar;
+using namespace stellar::bench;
+
+namespace {
+
+struct QueueStats {
+  double mean_kib = 0;
+  double max_kib = 0;
+  double goodput_gbps = 0;
+};
+
+QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths) {
+  Simulator sim;
+  FabricConfig fc;
+  fc.segments = 2;
+  fc.hosts_per_segment = 16;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 16;
+  // 1:1 ToR radix (16x200G host ports, 16x200G uplinks): an ECMP hash
+  // collision of two elephant flows genuinely oversubscribes an uplink,
+  // as in the production dual-plane fabric.
+  fc.fabric_link.bandwidth = Bandwidth::gbps(200);
+  ClosFabric fabric(sim, fc);
+  EngineFleet fleet(sim, fabric);
+
+  std::vector<EndpointId> eps;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::uint32_t h = 0; h < 16; ++h) {
+      eps.push_back(fabric.endpoint(s, h, 0, 0));
+    }
+  }
+
+  PermutationConfig pc;
+  pc.message_bytes = 1_MiB;
+  pc.transport.algo = algo;
+  pc.transport.num_paths = paths;
+  pc.seed = 7;  // same derangement for every algorithm
+  PermutationTraffic traffic(fleet, eps, {}, pc);
+
+  traffic.start();
+  // Warm up CC, then measure a 2 ms window.
+  sim.run_until(SimTime::millis(1));
+  fabric.reset_stats();
+  const SimTime window = SimTime::millis(2);
+  const std::uint64_t before = traffic.completed_bytes();
+  sim.run_until(sim.now() + window);
+  const std::uint64_t delivered = traffic.completed_bytes() - before;
+  traffic.stop();
+
+  QueueStats out;
+  RunningStats mean_q, max_q;
+  for (NetLink* l : fabric.all_tor_uplinks()) {
+    mean_q.add(l->mean_queue_bytes());
+    max_q.add(static_cast<double>(l->max_queue_bytes()));
+  }
+  out.mean_kib = mean_q.mean() / 1024.0;
+  out.max_kib = max_q.max() / 1024.0;
+  out.goodput_gbps =
+      static_cast<double>(delivered) * 8.0 / window.sec() / 1e9 / 32.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 9 - ToR uplink queue depth, permutation traffic (32 flows,\n"
+      "2 segments, 16 aggs/plane; paper uses 30 servers / 120 flows)\n"
+      "columns: mean queue KiB | max queue KiB | per-flow goodput Gbps");
+
+  const MultipathAlgo algos[] = {
+      MultipathAlgo::kSinglePath, MultipathAlgo::kBestRtt,
+      MultipathAlgo::kRoundRobin, MultipathAlgo::kDwrr,
+      MultipathAlgo::kMprdmaLike, MultipathAlgo::kObs};
+
+  for (std::uint16_t paths : {4, 128}) {
+    std::printf("\n--- %u paths per connection ---\n", paths);
+    print_row({"algorithm", "mean KiB", "max KiB", "goodput Gbps"});
+    for (MultipathAlgo algo : algos) {
+      const QueueStats s = run_permutation(algo, paths);
+      print_row({multipath_algo_name(algo), fmt(s.mean_kib, 1),
+                 fmt(s.max_kib, 1), fmt(s.goodput_gbps, 1)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 13: perftest-style microbenchmarks — RDMA write latency and
+// throughput vs message size for three stacks:
+//   bare-metal Stellar, vStellar (secure container), VF+VxLAN (CX7-like).
+//
+// Paper: vStellar is indistinguishable from bare metal (the data path is
+// direct-mapped); the VF+VxLAN baseline pays ~7% extra latency at 8 B and
+// ~9% bandwidth at 8 MB from encapsulation and vSwitch rule processing.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "collective/fleet.h"
+
+using namespace stellar;
+using namespace stellar::bench;
+
+namespace {
+
+enum class Stack { kBareMetal, kVStellar, kVfVxlan };
+
+const char* stack_name(Stack s) {
+  switch (s) {
+    case Stack::kBareMetal:
+      return "bare-metal";
+    case Stack::kVStellar:
+      return "vStellar";
+    case Stack::kVfVxlan:
+      return "VF+VxLAN";
+  }
+  return "?";
+}
+
+TransportConfig stack_transport(Stack s) {
+  TransportConfig t;
+  t.algo = MultipathAlgo::kObs;
+  t.num_paths = 128;
+  if (s == Stack::kVfVxlan) {
+    // VxLAN outer headers (~50 B), vSwitch steering pipeline per packet,
+    // and the encap engine's sustained-rate ceiling.
+    t.extra_header_bytes = 50;
+    t.per_packet_overhead = SimTime::nanos(85);
+    t.stack_rate_cap = Bandwidth::gbps(182);
+  }
+  // vStellar == bare metal on the data path: the whole Figure-13 point.
+  return t;
+}
+
+struct Result {
+  double latency_us = 0;
+  double gbps = 0;
+};
+
+Result run(Stack stack, std::uint64_t msg_bytes) {
+  Simulator sim;
+  FabricConfig fc;
+  fc.segments = 1;
+  fc.hosts_per_segment = 2;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 1;
+  fc.host_link.bandwidth = Bandwidth::gbps(200);
+  ClosFabric fabric(sim, fc);
+  EngineFleet fleet(sim, fabric);
+  const EndpointId a = fabric.endpoint(0, 0, 0, 0);
+  const EndpointId b = fabric.endpoint(0, 1, 0, 0);
+  auto conn = fleet.connect(a, b, stack_transport(stack));
+
+  Result out;
+  // Latency: one-way time until receiver-side completion, averaged over
+  // several pings after warm-up.
+  {
+    int received = 0;
+    SimTime total = SimTime::zero();
+    SimTime posted;
+    std::function<void()> ping = [&] {
+      posted = sim.now();
+      conn.value()->post_write(msg_bytes);
+    };
+    fleet.at(b).set_message_handler([&](const RxMessage&) {
+      if (received > 0) total += sim.now() - posted;  // skip cold ping
+      if (++received <= 8) ping();
+    });
+    ping();
+    sim.run();
+    out.latency_us = total.us() / 8.0;
+  }
+  // Throughput: stream 64 MiB.
+  {
+    const std::uint64_t bytes = 64_MiB;
+    const SimTime t0 = sim.now();
+    bool done = false;
+    conn.value()->post_write(bytes, [&] { done = true; });
+    sim.run();
+    (void)done;
+    out.gbps = static_cast<double>(bytes) * 8.0 / (sim.now() - t0).sec() / 1e9;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 13 - perftest microbenchmark: one-way latency (us) and\n"
+      "streaming throughput (Gbps), two hosts under one ToR, 200G links\n"
+      "paper: vStellar == bare-metal; VF+VxLAN ~7% worse latency, ~9% less "
+      "bw");
+
+  print_row({"msg size", "bare lat", "vStlr lat", "VxLAN lat", "bare bw",
+             "vStlr bw", "VxLAN bw"},
+            11);
+  for (std::uint64_t msg : {2_B, 64_B, 1_KiB, 64_KiB, 1_MiB, 8_MiB}) {
+    const Result bare = run(Stack::kBareMetal, msg);
+    const Result vstellar = run(Stack::kVStellar, msg);
+    const Result vxlan = run(Stack::kVfVxlan, msg);
+    print_row({format_bytes(msg), fmt(bare.latency_us, 2),
+               fmt(vstellar.latency_us, 2), fmt(vxlan.latency_us, 2),
+               fmt(bare.gbps, 1), fmt(vstellar.gbps, 1), fmt(vxlan.gbps, 1)},
+              11);
+  }
+  const Result bare = run(Stack::kBareMetal, 2);
+  const Result vxlan = run(Stack::kVfVxlan, 2);
+  std::printf("\nVF+VxLAN small-message latency overhead: +%.1f%%\n",
+              100.0 * (vxlan.latency_us / bare.latency_us - 1.0));
+  const Result bare8m = run(Stack::kBareMetal, 8_MiB);
+  const Result vxlan8m = run(Stack::kVfVxlan, 8_MiB);
+  std::printf("VF+VxLAN 8 MiB bandwidth loss: -%.1f%%\n",
+              100.0 * (1.0 - vxlan8m.gbps / bare8m.gbps));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 14: GDR write throughput — vStellar (eMTT) vs HyV/MasQ
+// (RC-routed P2P) vs bare-metal Stellar, across message sizes.
+//
+// Paper: HyV/MasQ tops out at ~141 Gbps (~36% of vStellar's 393 Gbps)
+// because their GDR traffic detours through the PCIe Root Complex;
+// vStellar and bare-metal Stellar are indistinguishable.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/stellar.h"
+
+using namespace stellar;
+using namespace stellar::bench;
+
+int main() {
+  print_header(
+      "Figure 14 - GDR write throughput (Gbps) vs message size\n"
+      "paper: vStellar ~393, HyV/MasQ ~141 (36%), bare-metal == vStellar");
+
+  StellarHostConfig cfg;
+  cfg.pcie.main_memory_bytes = 64_GiB;
+  cfg.pcie.rc_p2p_bandwidth = Bandwidth::gbps(145);
+  StellarHost host(cfg);
+
+  // Map an IOMMU window for the RC-routed (HyV/MasQ) path: it carries
+  // untranslated GPA addresses.
+  const IoVa gpu_window{1ull << 40};
+  (void)host.pcie().iommu().map(gpu_window, host.gpu_bar(0).base, 1_GiB);
+
+  GdrEngine emtt = host.make_gdr_engine(GdrMode::kEmtt, 0);
+  GdrEngine rc = host.make_gdr_engine(GdrMode::kRcRouted, 0);
+  GdrEngine bare = host.make_gdr_engine(GdrMode::kEmtt, 0);
+
+  // eMTT transfers carry the final HPA (the GPU BAR); the RC-routed
+  // baseline carries the untranslated device address.
+  const IoVa gpu_hpa{host.gpu_bar(0).base.value()};
+  print_row({"msg size", "vStellar", "HyV/MasQ", "bare-metal", "MasQ/vStlr"});
+  for (std::uint64_t msg : {256_KiB, 1_MiB, 4_MiB, 16_MiB, 64_MiB}) {
+    const GdrTransfer e = emtt.transfer(gpu_hpa, msg);
+    const GdrTransfer r = rc.transfer(gpu_window, msg);
+    const GdrTransfer b = bare.transfer(gpu_hpa, msg);
+    print_row({format_bytes(msg), fmt(e.gbps, 1), fmt(r.gbps, 1),
+               fmt(b.gbps, 1), fmt(100.0 * r.gbps / e.gbps, 1) + "%"});
+  }
+  return 0;
+}

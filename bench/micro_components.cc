@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks for the hot simulation components:
+// event queue throughput, LRU caches, range-map translation, MTT lookup,
+// path-selector picks and end-to-end simulated packet throughput. These
+// bound how much simulated traffic the figure benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "collective/fleet.h"
+#include "memory/lru.h"
+#include "memory/range_map.h"
+#include "rnic/mtt.h"
+#include "rnic/multipath.h"
+#include "sim/simulator.h"
+
+namespace stellar {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_at(SimTime::nanos((i * 7919) % 100000), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_LruCacheChurn(benchmark::State& state) {
+  LruCache<std::uint64_t, std::uint64_t> cache(
+      static_cast<std::size_t>(state.range(0)));
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    cache.put(key, key);
+    benchmark::DoNotOptimize(cache.get(key / 2));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheChurn)->Arg(1024)->Arg(65536);
+
+void BM_RangeMapTranslate(benchmark::State& state) {
+  RangeMap<Gva, Hpa> map;
+  const int ranges = static_cast<int>(state.range(0));
+  for (int i = 0; i < ranges; ++i) {
+    (void)map.map(Gva{static_cast<std::uint64_t>(i) * 2 * kPage2M},
+                  Hpa{static_cast<std::uint64_t>(i) * kPage2M}, kPage2M);
+  }
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map.translate(Gva{(addr % ranges) * 2 * kPage2M + 512}));
+    ++addr;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeMapTranslate)->Arg(16)->Arg(1024);
+
+void BM_MttLookup(benchmark::State& state) {
+  Mtt mtt(1 << 20);
+  for (MrKey k = 1; k <= 64; ++k) {
+    (void)mtt.register_region(k, Gva{k * 16_MiB}, 1_MiB, k * 1_MiB,
+                              MemoryOwner::kGpuHbm, true);
+  }
+  MrKey key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mtt.lookup(key, Gva{key * 16_MiB + 4096}));
+    key = key % 64 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MttLookup);
+
+void BM_PathSelectorPick(benchmark::State& state) {
+  auto algo = static_cast<MultipathAlgo>(state.range(0));
+  auto sel = PathSelector::create(algo, 128, 42);
+  for (auto _ : state) {
+    const std::uint16_t p = sel->pick();
+    benchmark::DoNotOptimize(p);
+    sel->on_ack(p, SimTime::micros(10), false);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(multipath_algo_name(algo));
+}
+BENCHMARK(BM_PathSelectorPick)
+    ->Arg(static_cast<int>(MultipathAlgo::kObs))
+    ->Arg(static_cast<int>(MultipathAlgo::kRoundRobin))
+    ->Arg(static_cast<int>(MultipathAlgo::kBestRtt))
+    ->Arg(static_cast<int>(MultipathAlgo::kDwrr));
+
+void BM_EndToEndPacketSim(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    FabricConfig fc;
+    fc.segments = 2;
+    fc.hosts_per_segment = 2;
+    fc.rails = 1;
+    fc.planes = 1;
+    fc.aggs_per_plane = 8;
+    ClosFabric fabric(sim, fc);
+    EngineFleet fleet(sim, fabric);
+    auto conn = fleet.connect(fabric.endpoint(0, 0, 0, 0),
+                              fabric.endpoint(1, 0, 0, 0), TransportConfig{});
+    conn.value()->post_write(4_MiB);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  // 4 MiB / 4 KiB = 1024 data packets (plus ACKs) per iteration.
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_EndToEndPacketSim);
+
+}  // namespace
+}  // namespace stellar
+
+BENCHMARK_MAIN();

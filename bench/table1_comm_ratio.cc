@@ -1,0 +1,58 @@
+// Table 1: parallel strategy and communication ratio of typical models.
+//
+// Reproduces the paper's table from the analytic 3D-parallelism model with
+// the published parallel parameters (TP, PP, DP, mb, ga, gb). Paper values
+// for comparison: Llama-33B TP 4.57% / DP 20.95% / PP 2.65%;
+// GPT-200B TP 10.88% / DP 1.49% / PP 20.14%; Zero1 Llama-2B DP 17.3%;
+// Zero3 Llama-13B DP 10.5%.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/models.h"
+
+using namespace stellar;
+using namespace stellar::bench;
+
+int main() {
+  print_header(
+      "Table 1 - parallel strategy and communication ratio\n"
+      "(computed from the analytic model; paper-measured values in "
+      "brackets)");
+  print_row({"model", "params(TP,PP,DP,ga,gb)", "TP com.", "DP com.",
+             "PP com."},
+            24);
+
+  struct PaperRow {
+    double tp, dp, pp;
+  };
+  const PaperRow paper[] = {{4.57, 20.95, 2.65},
+                            {10.88, 1.49, 20.14},
+                            {0, 17.3, 0},
+                            {0, 10.5, 0}};
+
+  // Effective per-GPU scale-out bandwidth for production-size rings that
+  // cross segments and share the aggregation layer (NIC line rate is 400G,
+  // sustained ring goodput is far lower).
+  const double bw_gbps = 40.0;
+  const auto jobs = table1_jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const TrainJob& job = jobs[i];
+    const CommRatios r = comm_ratios(job, bw_gbps);
+    char params[64];
+    std::snprintf(params, sizeof(params), "%u,%u,%u,%u,%u", job.parallel.tp,
+                  job.parallel.pp, job.parallel.dp, job.parallel.grad_accum,
+                  job.parallel.global_batch);
+    auto cell = [&](double model_pct, double paper_pct) {
+      if (paper_pct == 0 && model_pct < 0.0001) return std::string("N/A");
+      return fmt(100.0 * model_pct, 2) + "% [" + fmt(paper_pct, 2) + "%]";
+    };
+    print_row({job.model.name, params, cell(r.tp, paper[i].tp),
+               cell(r.dp, paper[i].dp), cell(r.pp, paper[i].pp)},
+              24);
+  }
+  std::printf(
+      "\nShape checks (paper): DP dominates Llama-33B; PP dominates\n"
+      "GPT-200B with tiny DP (grad-accum 117 amortizes the all-reduce);\n"
+      "DeepSpeed jobs are DP-only with 10-20%% communication share.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Narrated replay of Figure 5: how on-demand PVDMA pinning can leave a
+// stale doorbell mapping in the IOMMU and send GPU DMA into the RNIC's
+// registers — and how mapping the vDB into the virtio shm region makes the
+// hazard structurally impossible.
+//
+// Run: ./examples/pvdma_conflict
+#include <cstdio>
+
+#include "pcie/host_pcie.h"
+#include "virt/container.h"
+#include "virt/hypervisor.h"
+
+using namespace stellar;
+
+namespace {
+
+void run(bool vdb_in_shm) {
+  std::printf("\n==== vDB mapped %s ====\n",
+              vdb_in_shm ? "into the virtio shm I/O space (the fix)"
+                         : "into guest RAM (pre-fix layout)");
+
+  HostPcieConfig pc;
+  pc.main_memory_bytes = 8_GiB;
+  HostPcie pcie(pc);
+  const std::size_t sw = pcie.add_switch("sw0");
+  auto rnic_bar = pcie.attach_device(Bdf{0x10, 0, 0}, sw, 1_MiB);
+
+  HypervisorConfig hc;
+  hc.use_pvdma = true;
+  hc.vdb_in_shm = vdb_in_shm;
+  Hypervisor hyp(pcie, hc);
+  RundContainer container(1, "tenant", 2_GiB);
+  (void)hyp.boot_container(container);
+  Pvdma& pvdma = hyp.pvdma(1);
+
+  std::printf("[1] RDMA program starts; hypervisor maps the vDB\n");
+  auto vdb = hyp.map_vdb(container, rnic_bar.value().base);
+  if (vdb.value().in_shm) {
+    std::printf("    vDB at shm offset 0x%llx (outside guest RAM)\n",
+                static_cast<unsigned long long>(vdb.value().shm.value()));
+  } else {
+    std::printf("    vDB at GPA 0x%llx (a 4 KiB hole punched into RAM)\n",
+                static_cast<unsigned long long>(vdb.value().gpa.value()));
+  }
+
+  std::printf("[2] GPU driver allocates its command queue adjacent to it\n");
+  auto cmdq = container.alloc(16 * kPage4K, kPage4K);
+  std::printf("    Cmd Q at GPA 0x%llx\n",
+              static_cast<unsigned long long>(cmdq.value().value()));
+
+  std::printf("[3] GPU DMAs the queue; PVDMA pins the covering 2 MiB block\n");
+  (void)pvdma.prepare_dma(cmdq.value(), 16 * kPage4K);
+  std::printf("    blocks registered: %llu, pinned: %s\n",
+              static_cast<unsigned long long>(pvdma.blocks_registered()),
+              format_bytes(pvdma.pinned_bytes()).c_str());
+
+  std::printf("[4] RDMA program exits; vDB mapping torn down, GPA reusable\n");
+  (void)hyp.unmap_vdb(container, vdb.value());
+
+  std::printf("[5] Guest OS reuses the old vDB GPA for a new command queue\n");
+  const Gpa reused = vdb.value().in_shm
+                         ? container.alloc(kPage4K).value()
+                         : vdb.value().gpa;
+  (void)pvdma.prepare_dma(reused, kPage4K);
+
+  std::printf("    GPU DMA to Cmd Q' at GPA 0x%llx -> ",
+              static_cast<unsigned long long>(reused.value()));
+  const auto access = pvdma.translate_for_device(reused);
+  switch (access.kind) {
+    case Pvdma::AccessKind::kRam:
+      std::printf("RAM at HPA 0x%llx  [OK]\n",
+                  static_cast<unsigned long long>(access.hpa.value()));
+      break;
+    case Pvdma::AccessKind::kStaleDeviceMapping:
+      std::printf("STALE mapping -> RNIC doorbell at HPA 0x%llx\n",
+                  static_cast<unsigned long long>(access.hpa.value()));
+      std::printf("    !!! the GPU just wrote into the NIC's registers — "
+                  "invalid commands,\n        unrecoverable system error "
+                  "(the Figure-5 production incident)\n");
+      break;
+    case Pvdma::AccessKind::kFault:
+      std::printf("IOMMU fault\n");
+      break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== PVDMA / direct-mapped doorbell conflict (Figure 5) ==\n");
+  run(/*vdb_in_shm=*/false);
+  run(/*vdb_in_shm=*/true);
+  std::printf(
+      "\nThe shm region is a separate I/O address space: PVDMA's 2 MiB\n"
+      "blocks cover only guest RAM, so no doorbell can ever be swallowed.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// The collective family beyond AllReduce, built on the same sliced ring /
+// direct-exchange machinery:
+//   RingReduceScatter — N-1 ring steps, each rank ends with one reduced
+//                       data/N chunk;
+//   RingAllGather     — N-1 ring steps, each rank ends with all chunks;
+//   AllToAll          — direct exchange, every rank sends data/N to every
+//                       other rank (expert-parallel dispatch/combine, §9's
+//                       MoE discussion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "collective/fleet.h"
+#include "common/units.h"
+
+namespace stellar {
+
+struct CollectiveConfig {
+  std::uint64_t data_bytes = 64ull << 20;
+  std::uint32_t slices = 4;  // ring collectives only
+  TransportConfig transport;
+};
+
+/// Shared implementation of single-phase ring collectives (N-1 steps of a
+/// data/N chunk with per-slice pipelining).
+class RingCollective {
+ public:
+  RingCollective(EngineFleet& fleet, std::vector<EndpointId> ranks,
+                 CollectiveConfig config, std::uint32_t phases);
+
+  void start(std::function<void()> on_complete = {});
+
+  bool running() const { return running_; }
+  SimTime last_duration() const { return last_duration_; }
+  std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+  std::uint64_t slice_bytes() const { return slice_bytes_; }
+  std::size_t world_size() const { return ranks_.size(); }
+
+  /// NCCL bus bandwidth: phases*(N-1)/N * S / t.
+  double bus_bandwidth_gbps() const;
+
+  /// Algorithmic bandwidth: S / t.
+  double algo_bandwidth_gbps() const;
+
+  std::uint64_t total_retransmits() const;
+
+ private:
+  void on_slice_received(std::size_t rank, std::uint32_t lane);
+  void send_unit(std::size_t rank, std::uint32_t lane);
+
+  EngineFleet* fleet_;
+  std::vector<EndpointId> ranks_;
+  CollectiveConfig config_;
+  std::uint32_t phases_;
+  std::uint64_t chunk_bytes_;
+  std::uint64_t slice_bytes_;
+  std::uint32_t units_per_lane_;
+
+  std::vector<RdmaConnection*> to_next_;
+  std::vector<std::uint32_t> sent_;
+  std::vector<std::uint32_t> recv_;
+  std::vector<std::uint32_t> rank_received_total_;
+
+  bool running_ = false;
+  std::size_t finished_ranks_ = 0;
+  SimTime started_at_;
+  SimTime last_duration_;
+  std::function<void()> on_complete_;
+
+  std::uint32_t& sent_at(std::size_t rank, std::uint32_t lane) {
+    return sent_[rank * config_.slices + lane];
+  }
+  std::uint32_t& recv_at(std::size_t rank, std::uint32_t lane) {
+    return recv_[rank * config_.slices + lane];
+  }
+};
+
+class RingReduceScatter : public RingCollective {
+ public:
+  RingReduceScatter(EngineFleet& fleet, std::vector<EndpointId> ranks,
+                    CollectiveConfig config)
+      : RingCollective(fleet, std::move(ranks), config, /*phases=*/1) {}
+};
+
+class RingAllGather : public RingCollective {
+ public:
+  RingAllGather(EngineFleet& fleet, std::vector<EndpointId> ranks,
+                CollectiveConfig config)
+      : RingCollective(fleet, std::move(ranks), config, /*phases=*/1) {}
+};
+
+/// Pipeline-chain broadcast: rank 0's payload flows down the chain
+/// 0 -> 1 -> ... -> N-1, slice-pipelined (a rank forwards each slice as
+/// soon as it arrives). Every non-root rank ends with the full payload.
+class ChainBroadcast {
+ public:
+  ChainBroadcast(EngineFleet& fleet, std::vector<EndpointId> ranks,
+                 CollectiveConfig config);
+
+  void start(std::function<void()> on_complete = {});
+
+  bool running() const { return running_; }
+  SimTime last_duration() const { return last_duration_; }
+  std::uint64_t slice_bytes() const { return slice_bytes_; }
+
+  /// Payload bandwidth: S / t.
+  double algo_bandwidth_gbps() const;
+
+ private:
+  void on_slice_received(std::size_t rank, std::uint32_t lane);
+
+  EngineFleet* fleet_;
+  std::vector<EndpointId> ranks_;
+  CollectiveConfig config_;
+  std::uint64_t slice_bytes_;
+  std::uint32_t slices_total_;
+
+  std::vector<RdmaConnection*> to_next_;  // conn i -> i+1 (none for last)
+  std::vector<std::uint32_t> received_;
+
+  bool running_ = false;
+  SimTime started_at_;
+  SimTime last_duration_;
+  std::function<void()> on_complete_;
+};
+
+/// Barrier: a minimal (one MTU per chunk) two-phase ring — completes when
+/// every rank has transitively heard from every other rank.
+class RingBarrier : public RingCollective {
+ public:
+  RingBarrier(EngineFleet& fleet, std::vector<EndpointId> ranks,
+              TransportConfig transport);
+};
+
+/// Hierarchical AllReduce, as rail-optimized NCCL runs it in production:
+/// an intra-host NVLink reduce (modelled as a fixed-latency local stage,
+/// no fabric traffic), one inter-host ring per rail carrying 1/gpus_per_host
+/// of the data on that rail's NIC, then an intra-host broadcast. This is
+/// the mechanism behind the rail-share term in the workload model.
+class HierarchicalAllReduce {
+ public:
+  struct Config {
+    std::uint64_t data_bytes = 64ull << 20;
+    std::uint32_t gpus_per_host = 8;
+    SimTime nvlink_stage = SimTime::micros(40);  // intra-host reduce/bcast
+    std::uint32_t slices = 4;
+    TransportConfig transport;
+  };
+
+  /// `host_leaders` is one endpoint per host (a rail's NIC); each carries
+  /// its rail's 1/gpus_per_host shard of the inter-host ring.
+  HierarchicalAllReduce(EngineFleet& fleet,
+                        std::vector<EndpointId> host_leaders, Config config);
+
+  void start(std::function<void()> on_complete = {});
+
+  SimTime last_duration() const { return last_duration_; }
+  /// Bus bandwidth per GPU as NCCL reports it.
+  double bus_bandwidth_gbps() const;
+
+ private:
+  EngineFleet* fleet_;
+  Config config_;
+  std::unique_ptr<RingCollective> inter_host_;
+  SimTime started_at_;
+  SimTime last_duration_;
+  std::function<void()> on_complete_;
+};
+
+/// Direct all-to-all exchange: rank i sends data/N to every rank j != i on
+/// a dedicated connection. Completion when every rank received N-1 shards.
+class AllToAll {
+ public:
+  AllToAll(EngineFleet& fleet, std::vector<EndpointId> ranks,
+           CollectiveConfig config);
+
+  void start(std::function<void()> on_complete = {});
+
+  bool running() const { return running_; }
+  SimTime last_duration() const { return last_duration_; }
+  std::uint64_t shard_bytes() const { return shard_bytes_; }
+
+  /// Algorithmic bandwidth per rank: (N-1)/N * S / t.
+  double algo_bandwidth_gbps() const;
+
+ private:
+  void on_shard_received(std::size_t rank);
+
+  EngineFleet* fleet_;
+  std::vector<EndpointId> ranks_;
+  CollectiveConfig config_;
+  std::uint64_t shard_bytes_;
+
+  // conns_[i * N + j]: connection rank i -> rank j (null on diagonal).
+  std::vector<RdmaConnection*> conns_;
+  std::vector<std::uint32_t> received_;
+
+  bool running_ = false;
+  std::size_t finished_ranks_ = 0;
+  SimTime started_at_;
+  SimTime last_duration_;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace stellar

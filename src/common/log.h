@@ -1,0 +1,43 @@
+// Tiny leveled logger. Disabled below the compile/runtime threshold so the
+// simulator's inner loops carry no formatting cost by default.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace stellar {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global runtime threshold; defaults to kWarn so unit tests stay quiet.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, std::string msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+inline std::string format(const char* msg) { return msg; }
+}  // namespace detail
+
+#define STELLAR_LOG(level, ...)                                       \
+  do {                                                                \
+    if (level >= ::stellar::log_threshold()) {                        \
+      ::stellar::detail::log_line(level, __FILE__, __LINE__,          \
+                                  ::stellar::detail::format(__VA_ARGS__)); \
+    }                                                                 \
+  } while (0)
+
+#define LOG_DEBUG(...) STELLAR_LOG(::stellar::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) STELLAR_LOG(::stellar::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) STELLAR_LOG(::stellar::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) STELLAR_LOG(::stellar::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace stellar

@@ -1,0 +1,43 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace stellar {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (ps_ < 1000) {
+    std::snprintf(buf, sizeof(buf), "%ld ps", static_cast<long>(ps_));
+  } else if (ps_ < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ns", ns());
+  } else if (ps_ < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", us());
+  } else if (ps_ < 1'000'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", sec());
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[32];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+}  // namespace stellar

@@ -1,0 +1,217 @@
+#include "core/stellar.h"
+
+#include <stdexcept>
+
+namespace stellar {
+
+StellarHost::StellarHost(StellarHostConfig config)
+    : config_(std::move(config)) {
+  pcie_ = std::make_unique<HostPcie>(config_.pcie);
+  hypervisor_ = std::make_unique<Hypervisor>(*pcie_, config_.hypervisor);
+
+  for (std::uint32_t s = 0; s < config_.pcie_switches; ++s) {
+    pcie_->add_switch("pcie_sw" + std::to_string(s));
+  }
+
+  // One RNIC per switch, GPUs striped across switches (the 4-switch,
+  // 4-RNIC, 8-GPU server of §3.1(3)).
+  for (std::uint32_t i = 0; i < config_.rnics; ++i) {
+    const auto bus = static_cast<std::uint8_t>(0x10 + i * 0x10);
+    RnicConfig rc = config_.rnic;
+    rc.name = "rnic" + std::to_string(i);
+    rnics_.push_back(std::make_unique<Rnic>(*pcie_, Bdf{bus, 0, 0},
+                                            i % config_.pcie_switches, rc));
+    Status s = rnics_.back()->enable_pf_gdr();
+    if (!s.is_ok()) {
+      throw std::runtime_error("StellarHost: PF GDR enable failed: " +
+                               s.to_string());
+    }
+  }
+
+  for (std::uint32_t g = 0; g < config_.gpus; ++g) {
+    const auto bus = static_cast<std::uint8_t>(0x18 + g * 0x10);
+    const Bdf bdf{bus, 1, 0};
+    const std::size_t sw = g % config_.pcie_switches;
+    auto bar = pcie_->attach_device(bdf, sw, config_.gpu_bar_bytes);
+    if (!bar.is_ok()) {
+      throw std::runtime_error("StellarHost: GPU attach failed: " +
+                               bar.status().to_string());
+    }
+    Status s = pcie_->enable_p2p(bdf);
+    if (!s.is_ok()) {
+      throw std::runtime_error("StellarHost: GPU LUT registration failed: " +
+                               s.to_string());
+    }
+    gpu_bdfs_.push_back(bdf);
+    gpu_bars_.push_back(bar.value());
+  }
+}
+
+StellarHost::~StellarHost() = default;
+
+StatusOr<VStellarDevice*> StellarHost::create_vstellar_device(
+    RundContainer& container, std::size_t rnic_index) {
+  if (rnic_index >= rnics_.size()) {
+    return out_of_range("StellarHost: rnic index");
+  }
+  if (!container.booted()) {
+    return failed_precondition("StellarHost: container not booted");
+  }
+  Rnic& rnic = *rnics_[rnic_index];
+  auto hw = rnic.create_virtual_device(container.id());
+  if (!hw.is_ok()) return hw.status();
+
+  auto vdb = hypervisor_->map_vdb(container, hw.value().doorbell);
+  if (!vdb.is_ok()) {
+    (void)rnic.destroy_virtual_device(hw.value().id);
+    return vdb.status();
+  }
+
+  const SimTime create_time =
+      rnic.config().sf_create_time +
+      hypervisor_->control_path(container.id()).execute(ControlCommand::kCreatePd);
+
+  auto dev = std::unique_ptr<VStellarDevice>(new VStellarDevice(
+      *this, container, rnic, hw.value(), vdb.value(), create_time));
+  VStellarDevice* raw = dev.get();
+  devices_.push_back(std::move(dev));
+  return raw;
+}
+
+Status StellarHost::destroy_vstellar_device(VStellarDevice* device) {
+  for (auto it = devices_.begin(); it != devices_.end(); ++it) {
+    if (it->get() != device) continue;
+    (void)hypervisor_->unmap_vdb(*device->container_, device->vdb_);
+    (void)device->rnic_->destroy_virtual_device(device->hw_.id);
+    devices_.erase(it);
+    return Status::ok();
+  }
+  return not_found("StellarHost: unknown vStellar device");
+}
+
+GdrEngine StellarHost::make_gdr_engine(GdrMode mode, std::size_t rnic_index) {
+  Rnic& rnic = *rnics_.at(rnic_index);
+  GdrEngineConfig cfg;
+  cfg.nic_rate = rnic.config().line_rate;
+  cfg.requester = rnic.pf_bdf();
+  Atc* atc = nullptr;
+  if (mode == GdrMode::kAtsAtc) {
+    atcs_.push_back(std::make_unique<Atc>(*pcie_, rnic.pf_bdf(),
+                                          rnic.config().atc_capacity_pages));
+    atc = atcs_.back().get();
+  }
+  return GdrEngine(*pcie_, cfg, mode, atc);
+}
+
+// ---------------------------------------------------------------------------
+// VStellarDevice
+// ---------------------------------------------------------------------------
+
+VStellarDevice::VStellarDevice(StellarHost& host, RundContainer& container,
+                               Rnic& rnic, Rnic::VirtualDevice hw,
+                               Hypervisor::VdbMapping vdb,
+                               SimTime creation_time)
+    : host_(&host),
+      container_(&container),
+      rnic_(&rnic),
+      hw_(hw),
+      vdb_(vdb),
+      creation_time_(creation_time),
+      vm_(container.id()),
+      pd_(rnic.verbs().create_pd(container.id())) {}
+
+StatusOr<VStellarDevice::RegisterResult> VStellarDevice::register_memory(
+    Gva va, std::uint64_t len, MemoryOwner owner, std::uint64_t guest_addr,
+    std::size_t gpu_index) {
+  Hypervisor& hyp = host_->hypervisor();
+  RegisterResult out;
+  out.latency = hyp.control_path(vm_).execute(ControlCommand::kRegisterMr);
+
+  std::uint64_t final_hpa = 0;
+  if (owner == MemoryOwner::kHostDram) {
+    const Gpa gpa{guest_addr};
+    // PVDMA: pin the covering blocks on demand (Figure 4 stages 1-2).
+    auto pin = hyp.pvdma(vm_).prepare_dma(gpa, len);
+    if (!pin.is_ok()) return pin.status();
+    out.latency += pin.value().cost;
+    out.pinned_now = !pin.value().cache_hit;
+    auto hpa = hyp.ept(vm_).translate(gpa);
+    if (!hpa.is_ok()) return hpa.status();
+    final_hpa = hpa.value().value();
+  } else {
+    if (gpu_index >= host_->gpu_count()) {
+      return out_of_range("register_memory: gpu index");
+    }
+    const Bar bar = host_->gpu_bar(gpu_index);
+    if (guest_addr + len > bar.len) {
+      return out_of_range("register_memory: beyond GPU BAR");
+    }
+    final_hpa = bar.base.value() + guest_addr;
+  }
+
+  auto mr = rnic_->verbs().register_mr(pd_, va, len, owner);
+  if (!mr.is_ok()) return mr.status();
+
+  // The Stellar twist: the MTT entry stores the *final* HPA and the memory
+  // owner — an eMTT entry (§6).
+  Status s = rnic_->mtt().register_region(mr.value(), va, len, final_hpa,
+                                          owner, /*translated=*/true);
+  if (!s.is_ok()) {
+    (void)rnic_->verbs().deregister_mr(mr.value());
+    return s;
+  }
+  out.key = mr.value();
+  if (owner == MemoryOwner::kHostDram) {
+    pinned_ranges_.emplace(out.key, std::make_pair(Gpa{guest_addr}, len));
+  }
+  return out;
+}
+
+Status VStellarDevice::deregister_memory(MrKey key) {
+  auto mr = rnic_->verbs().mr(key);
+  if (!mr.is_ok()) return mr.status();
+  if (auto it = pinned_ranges_.find(key); it != pinned_ranges_.end()) {
+    host_->hypervisor().pvdma(vm_).release_dma(it->second.first,
+                                               it->second.second);
+    pinned_ranges_.erase(it);
+  }
+  (void)rnic_->mtt().deregister(key);
+  return rnic_->verbs().deregister_mr(key);
+}
+
+StatusOr<QpNum> VStellarDevice::create_qp() {
+  host_->hypervisor().control_path(vm_).execute(ControlCommand::kCreateQp);
+  return rnic_->verbs().create_qp(pd_);
+}
+
+Status VStellarDevice::connect_qp(QpNum qp, QpNum remote_qp) {
+  auto& control = host_->hypervisor().control_path(vm_);
+  control.execute(ControlCommand::kModifyQp);
+  Status s = rnic_->verbs().modify_qp(qp, QpState::kInit);
+  if (!s.is_ok()) return s;
+  control.execute(ControlCommand::kModifyQp);
+  s = rnic_->verbs().modify_qp(qp, QpState::kRtr, remote_qp);
+  if (!s.is_ok()) return s;
+  control.execute(ControlCommand::kModifyQp);
+  return rnic_->verbs().modify_qp(qp, QpState::kRts, remote_qp);
+}
+
+Status VStellarDevice::check_access(QpNum qp, MrKey mr) const {
+  return rnic_->verbs().check_access(qp, mr);
+}
+
+StatusOr<GdrTransfer> VStellarDevice::gdr_write(MrKey mr, Gva va,
+                                                std::uint64_t len) {
+  auto entry = rnic_->mtt().lookup(mr, va);
+  if (!entry.is_ok()) return entry.status();
+  if (!entry.value().translated) {
+    return failed_precondition("gdr_write: MR lacks an eMTT translation");
+  }
+  GdrEngineConfig cfg;
+  cfg.nic_rate = rnic_->config().line_rate;
+  cfg.requester = rnic_->pf_bdf();
+  GdrEngine engine(host_->pcie(), cfg, GdrMode::kEmtt, nullptr);
+  return engine.transfer(IoVa{entry.value().target}, len);
+}
+
+}  // namespace stellar

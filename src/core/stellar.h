@@ -1,0 +1,158 @@
+// Public Stellar API — the host-side view (§4, Figure 3).
+//
+// A StellarHost models one GPU server: a PCIe fabric with per-switch
+// RNIC+GPU pairs, a hypervisor running RunD secure containers, and RNICs
+// that expose dynamic vStellar virtual devices instead of SR-IOV VFs.
+//
+// A VStellarDevice is the tenant-facing RDMA device:
+//  * control path (QP/MR verbs) rides the virtio control queue, where the
+//    host applies policy — each VM gets a dedicated protection domain;
+//  * data path is direct: the doorbell page is mapped into the guest (via
+//    the virtio shm region) and MRs are written into the RNIC's eMTT with
+//    their *final* HPA and memory owner, enabling switch-P2P GDR;
+//  * registration of host memory pins on demand through PVDMA.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "pcie/atc.h"
+#include "pcie/host_pcie.h"
+#include "rnic/device.h"
+#include "rnic/gdr.h"
+#include "virt/container.h"
+#include "virt/hypervisor.h"
+#include "virt/runtime.h"
+
+namespace stellar {
+
+struct StellarHostConfig {
+  std::uint32_t pcie_switches = 4;
+  std::uint32_t rnics = 4;           // one per switch
+  std::uint32_t gpus = 8;            // two per switch
+  std::uint64_t gpu_bar_bytes = 32ull << 30;
+  RnicConfig rnic;
+  HostPcieConfig pcie;
+  HypervisorConfig hypervisor;
+};
+
+class VStellarDevice;
+
+class StellarHost {
+ public:
+  explicit StellarHost(StellarHostConfig config = {});
+  ~StellarHost();
+
+  StellarHost(const StellarHost&) = delete;
+  StellarHost& operator=(const StellarHost&) = delete;
+
+  // -- Hardware access ---------------------------------------------------------
+
+  HostPcie& pcie() { return *pcie_; }
+  Hypervisor& hypervisor() { return *hypervisor_; }
+  Rnic& rnic(std::size_t i) { return *rnics_.at(i); }
+  std::size_t rnic_count() const { return rnics_.size(); }
+  Bdf gpu_bdf(std::size_t i) const { return gpu_bdfs_.at(i); }
+  Bar gpu_bar(std::size_t i) const { return gpu_bars_.at(i); }
+  std::size_t gpu_count() const { return gpu_bdfs_.size(); }
+
+  // -- Container lifecycle -------------------------------------------------------
+
+  StatusOr<Hypervisor::BootReport> boot(RundContainer& container) {
+    return hypervisor_->boot_container(container);
+  }
+  Status shutdown(RundContainer& container) {
+    return hypervisor_->shutdown_container(container);
+  }
+
+  // -- vStellar devices -----------------------------------------------------------
+
+  /// Create a vStellar device on `rnic_index` for `container`. Seconds, not
+  /// minutes: no VF reset, no new BDF, no LUT slot. The returned pointer is
+  /// owned by the host.
+  StatusOr<VStellarDevice*> create_vstellar_device(RundContainer& container,
+                                                   std::size_t rnic_index);
+  Status destroy_vstellar_device(VStellarDevice* device);
+  std::size_t vstellar_device_count() const { return devices_.size(); }
+
+  /// Build a GDR engine for benchmarking a given translation design against
+  /// GPU `gpu_index`'s memory through `rnic_index`.
+  GdrEngine make_gdr_engine(GdrMode mode, std::size_t rnic_index);
+
+  const StellarHostConfig& config() const { return config_; }
+
+ private:
+  friend class VStellarDevice;
+
+  StellarHostConfig config_;
+  std::unique_ptr<HostPcie> pcie_;
+  std::unique_ptr<Hypervisor> hypervisor_;
+  std::vector<std::unique_ptr<Rnic>> rnics_;
+  std::vector<Bdf> gpu_bdfs_;
+  std::vector<Bar> gpu_bars_;
+  std::vector<std::unique_ptr<VStellarDevice>> devices_;
+  std::vector<std::unique_ptr<Atc>> atcs_;  // for baseline GDR engines
+};
+
+class VStellarDevice {
+ public:
+  VmId vm() const { return vm_; }
+  PdId pd() const { return pd_; }
+  std::uint32_t id() const { return hw_.id; }
+  Hpa doorbell_hpa() const { return hw_.doorbell; }
+  const Hypervisor::VdbMapping& doorbell_mapping() const { return vdb_; }
+  SimTime creation_time() const { return creation_time_; }
+  Rnic& rnic() { return *rnic_; }
+
+  // -- Control path (virtio-mediated verbs) -------------------------------------
+
+  /// Register guest memory for RDMA. For host DRAM, `guest_addr` is the GPA
+  /// of the buffer: PVDMA pins the covering blocks and the eMTT entry
+  /// stores the final HPA. For GPU HBM, `guest_addr` is the offset into the
+  /// assigned GPU's BAR. Returns the MR key plus the modelled latency.
+  struct RegisterResult {
+    MrKey key = 0;
+    SimTime latency;       // virtio control RTT + (host) PVDMA pin time
+    bool pinned_now = false;
+  };
+  StatusOr<RegisterResult> register_memory(Gva va, std::uint64_t len,
+                                           MemoryOwner owner,
+                                           std::uint64_t guest_addr,
+                                           std::size_t gpu_index = 0);
+  Status deregister_memory(MrKey key);
+
+  StatusOr<QpNum> create_qp();
+  Status connect_qp(QpNum qp, QpNum remote_qp);
+
+  /// The hardware PD check, as the RNIC would apply it on a data access.
+  Status check_access(QpNum qp, MrKey mr) const;
+
+  /// GDR write through the eMTT fast path: looks up the MR's eMTT entry,
+  /// emits pre-translated TLPs, and returns the modelled transfer.
+  StatusOr<GdrTransfer> gdr_write(MrKey mr, Gva va, std::uint64_t len);
+
+ private:
+  friend class StellarHost;
+  VStellarDevice(StellarHost& host, RundContainer& container, Rnic& rnic,
+                 Rnic::VirtualDevice hw, Hypervisor::VdbMapping vdb,
+                 SimTime creation_time);
+
+  StellarHost* host_;
+  RundContainer* container_;
+  Rnic* rnic_;
+  Rnic::VirtualDevice hw_;
+  Hypervisor::VdbMapping vdb_;
+  SimTime creation_time_;
+  VmId vm_;
+  PdId pd_;
+  /// Host-DRAM MRs: the guest-physical range PVDMA pinned, needed again at
+  /// deregistration (the MR itself records only the GVA).
+  std::unordered_map<MrKey, std::pair<Gpa, std::uint64_t>> pinned_ranges_;
+};
+
+}  // namespace stellar

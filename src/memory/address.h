@@ -1,0 +1,81 @@
+// Strong-typed addresses for the four translation layers of Figure 1(a):
+//   GVA --guest PT--> GPA --EPT/IOMMU--> HPA,   HVA --host PT--> HPA
+// plus the device (DMA) address space programmed into the IOMMU.
+//
+// Mixing layers is the root cause of several production bugs the paper
+// describes, so the types are deliberately non-convertible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"  // byte-size literals accompany addresses
+
+namespace stellar {
+
+inline constexpr std::uint64_t kPage4K = 4096;
+inline constexpr std::uint64_t kPage2M = 2 * 1024 * 1024;
+
+template <typename Tag>
+class Addr {
+ public:
+  constexpr Addr() = default;
+  constexpr explicit Addr(std::uint64_t v) : value_(v) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+
+  constexpr auto operator<=>(const Addr&) const = default;
+
+  constexpr Addr operator+(std::uint64_t off) const {
+    return Addr{value_ + off};
+  }
+  constexpr Addr operator-(std::uint64_t off) const {
+    return Addr{value_ - off};
+  }
+  /// Byte distance between two addresses in the same space.
+  constexpr std::uint64_t operator-(Addr o) const { return value_ - o.value_; }
+
+  constexpr Addr align_down(std::uint64_t page) const {
+    return Addr{value_ & ~(page - 1)};
+  }
+  constexpr Addr align_up(std::uint64_t page) const {
+    return Addr{(value_ + page - 1) & ~(page - 1)};
+  }
+  constexpr std::uint64_t page_offset(std::uint64_t page) const {
+    return value_ & (page - 1);
+  }
+  constexpr bool is_aligned(std::uint64_t page) const {
+    return page_offset(page) == 0;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+using Gva = Addr<struct GvaTag>;   // guest virtual
+using Gpa = Addr<struct GpaTag>;   // guest physical
+using Hva = Addr<struct HvaTag>;   // host virtual
+using Hpa = Addr<struct HpaTag>;   // host physical
+using IoVa = Addr<struct IoVaTag>; // device/DMA address ("DA" in the paper)
+
+/// Number of pages covering [addr, addr+len) at the given page size.
+template <typename Tag>
+constexpr std::uint64_t pages_covering(Addr<Tag> addr, std::uint64_t len,
+                                       std::uint64_t page) {
+  if (len == 0) return 0;
+  const std::uint64_t first = addr.align_down(page).value();
+  const std::uint64_t last = (addr + (len - 1)).align_down(page).value();
+  return (last - first) / page + 1;
+}
+
+}  // namespace stellar
+
+namespace std {
+template <typename Tag>
+struct hash<stellar::Addr<Tag>> {
+  size_t operator()(const stellar::Addr<Tag>& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value());
+  }
+};
+}  // namespace std

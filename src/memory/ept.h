@@ -1,0 +1,75 @@
+// Extended Page Table: the hardware-assisted GPA -> HPA mapping the
+// hypervisor registers with the MMU (Figure 1(a)).
+//
+// In the simulation the EPT also tracks which guest-physical ranges are
+// *direct-mapped device registers* (e.g. the vStellar virtual Doorbell),
+// because the PVDMA conflict of Figure 5 is precisely an overlap between a
+// 4 KiB EPT register mapping and a 2 MiB PVDMA IOMMU block.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "memory/address.h"
+#include "memory/range_map.h"
+
+namespace stellar {
+
+class Ept {
+ public:
+  enum class Kind { kRam, kDeviceRegister };
+
+  Status map(Gpa gpa, Hpa hpa, std::uint64_t len, Kind kind = Kind::kRam) {
+    Status s = table_.map(gpa, hpa, len);
+    if (!s.is_ok()) return s;
+    if (kind == Kind::kDeviceRegister) (void)registers_.map(gpa, hpa, len);
+    return Status::ok();
+  }
+
+  Status unmap(Gpa gpa) {
+    (void)registers_.unmap(gpa);  // not-found is fine for plain RAM ranges
+    return table_.unmap(gpa);
+  }
+
+  /// Replace the mapping of [gpa, gpa+len) (which must lie inside an
+  /// existing range) with a device-register mapping to `hpa`. Models the
+  /// hypervisor direct-mapping a doorbell into a guest RAM hole.
+  Status map_register_hole(Gpa gpa, Hpa hpa, std::uint64_t len) {
+    Status s = table_.carve(gpa, len);
+    if (!s.is_ok()) return s;
+    return map(gpa, hpa, len, Kind::kDeviceRegister);
+  }
+
+  /// Undo map_register_hole: restore the RAM mapping to `ram_hpa`.
+  Status restore_ram(Gpa gpa, Hpa ram_hpa, std::uint64_t len) {
+    Status s = unmap(gpa);
+    if (!s.is_ok()) return s;
+    return map(gpa, ram_hpa, len, Kind::kRam);
+  }
+
+  /// Re-back [gpa, gpa+len) with a different HPA frame — what a host swap
+  /// out / fault-in cycle does to an unpinned guest page (§3.1(2)).
+  Status remap_ram(Gpa gpa, Hpa new_hpa, std::uint64_t len) {
+    Status s = table_.carve(gpa, len);
+    if (!s.is_ok()) return s;
+    return map(gpa, new_hpa, len, Kind::kRam);
+  }
+
+  StatusOr<Hpa> translate(Gpa gpa) const { return table_.translate(gpa); }
+
+  bool contains(Gpa gpa) const { return table_.contains(gpa); }
+
+  /// Does [gpa, gpa+len) overlap any direct-mapped device register range?
+  bool overlaps_device_register(Gpa gpa, std::uint64_t len) const {
+    return registers_.overlaps(gpa, len);
+  }
+
+  std::uint64_t mapped_bytes() const { return table_.mapped_bytes(); }
+  std::size_t range_count() const { return table_.range_count(); }
+
+ private:
+  RangeMap<Gpa, Hpa> table_;
+  RangeMap<Gpa, Hpa> registers_;  // subset of table_: device registers
+};
+
+}  // namespace stellar

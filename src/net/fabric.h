@@ -1,0 +1,139 @@
+// Dual-plane, rail-optimized Clos fabric (the HPN-style topology of §3.1(6)
+// and §7), scaled for simulation.
+//
+// Geometry:
+//   * `segments` pods, each with `hosts_per_segment` GPU servers;
+//   * each server has `rails` RNICs; each RNIC has `planes` ports (dual
+//     plane in production);
+//   * per (rail, plane) each segment owns one ToR; all ToRs of a
+//     (rail, plane) pair connect to `aggs_per_plane` aggregation switches.
+//   * rails are isolated (rail-optimized): connections stay on one rail and
+//     one plane, exactly like production NCCL traffic.
+//
+// Switches are decomposed into their egress ports: every port is a NetLink,
+// so per-port queue depth / load statistics (Figures 9 and 12) fall out of
+// link counters directly. A route is a precomputed vector of links; the
+// multipath path_id selects the aggregation switch for cross-segment hops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace stellar {
+
+struct FabricConfig {
+  std::uint32_t segments = 2;
+  std::uint32_t hosts_per_segment = 16;
+  std::uint32_t rails = 1;
+  std::uint32_t planes = 2;
+  std::uint32_t aggs_per_plane = 16;
+  LinkConfig host_link{Bandwidth::gbps(200), SimTime::nanos(600), 8u << 20,
+                       512u << 10, 0.0};
+  LinkConfig fabric_link{Bandwidth::gbps(400), SimTime::nanos(600), 16u << 20,
+                         1u << 20, 0.0};
+};
+
+class ClosFabric {
+ public:
+  using Handler = std::function<void(NetPacket&&)>;
+
+  ClosFabric(Simulator& sim, FabricConfig config);
+
+  // -- Addressing -------------------------------------------------------------
+
+  EndpointId endpoint(std::uint32_t segment, std::uint32_t host,
+                      std::uint32_t rail, std::uint32_t plane) const;
+  std::uint32_t endpoint_count() const;
+
+  struct EndpointCoords {
+    std::uint32_t segment, host, rail, plane;
+  };
+  EndpointCoords coords(EndpointId id) const;
+
+  /// Attach the receive handler (the RNIC transport) for an endpoint.
+  void set_handler(EndpointId id, Handler handler);
+
+  // -- Data path ----------------------------------------------------------------
+
+  /// Inject a packet. src/dst must share rail and plane; path_id picks the
+  /// aggregation switch for cross-segment routes (hashed per connection so
+  /// distinct connections map path ids onto different switch subsets).
+  Status send(NetPacket&& p);
+
+  /// Number of distinct physical routes between two endpoints.
+  std::uint32_t physical_paths(EndpointId src, EndpointId dst) const;
+
+  // -- Telemetry / fault injection ---------------------------------------------
+
+  /// All ToR->Agg egress ports for one (segment, rail, plane) ToR.
+  std::vector<NetLink*> tor_uplinks(std::uint32_t segment, std::uint32_t rail,
+                                    std::uint32_t plane);
+  /// Every ToR uplink in the fabric.
+  std::vector<NetLink*> all_tor_uplinks();
+  /// Every host->ToR ingress port (host NIC egress).
+  std::vector<NetLink*> all_host_links();
+
+  NetLink& tor_uplink(std::uint32_t segment, std::uint32_t rail,
+                      std::uint32_t plane, std::uint32_t agg);
+  NetLink& agg_downlink(std::uint32_t agg, std::uint32_t segment,
+                        std::uint32_t rail, std::uint32_t plane);
+
+  void reset_stats();
+
+  /// Diagnostics hook: called for every hop a packet takes (`link` is the
+  /// egress port it was forwarded on; nullptr marks final delivery). This
+  /// is the tooling counterpart of §7.1's observability argument — with
+  /// sender-chosen path ids, a tracer can reconstruct exact trajectories.
+  using TraceHook =
+      std::function<void(const NetPacket&, const NetLink* link, SimTime at)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  const FabricConfig& config() const { return config_; }
+  Simulator& simulator() { return *sim_; }
+
+  std::uint64_t delivered_packets() const { return delivered_; }
+  /// Packets that reached an endpoint with no registered handler.
+  std::uint64_t dropped_no_handler() const { return dropped_no_handler_; }
+
+ private:
+  // Link array indices. All per (rail, plane) grouping.
+  std::size_t host_up_idx(std::uint32_t s, std::uint32_t h, std::uint32_t r,
+                          std::uint32_t p) const;
+  std::size_t tor_down_idx(std::uint32_t s, std::uint32_t h, std::uint32_t r,
+                           std::uint32_t p) const;
+  std::size_t tor_up_idx(std::uint32_t s, std::uint32_t r, std::uint32_t p,
+                         std::uint32_t a) const;
+  std::size_t agg_down_idx(std::uint32_t a, std::uint32_t s, std::uint32_t r,
+                           std::uint32_t p) const;
+
+  const std::vector<NetLink*>* route_for(EndpointId src, EndpointId dst,
+                                         std::uint64_t conn_id,
+                                         std::uint16_t path_id);
+
+  void advance(NetPacket&& p);
+
+  Simulator* sim_;
+  FabricConfig config_;
+
+  std::vector<std::unique_ptr<NetLink>> host_up_;   // endpoint -> ToR
+  std::vector<std::unique_ptr<NetLink>> tor_down_;  // ToR -> endpoint
+  std::vector<std::unique_ptr<NetLink>> tor_up_;    // ToR -> Agg
+  std::vector<std::unique_ptr<NetLink>> agg_down_;  // Agg -> ToR
+
+  std::vector<Handler> handlers_;
+  TraceHook trace_;
+  std::unordered_map<std::uint64_t, std::vector<NetLink*>> route_cache_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_no_handler_ = 0;
+};
+
+}  // namespace stellar

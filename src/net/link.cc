@@ -1,0 +1,90 @@
+#include "net/link.h"
+
+#include <cassert>
+
+namespace stellar {
+
+void NetLink::account_queue_change(std::uint64_t new_bytes) {
+  const SimTime now = sim_->now();
+  queue_integral_ +=
+      static_cast<double>(queue_bytes_) * (now - last_change_).sec();
+  last_change_ = now;
+  queue_bytes_ = new_bytes;
+  if (queue_bytes_ > max_queue_bytes_) max_queue_bytes_ = queue_bytes_;
+}
+
+void NetLink::enqueue(NetPacket&& p) {
+  const std::uint32_t wire = p.wire_bytes();
+  if (config_.drop_probability > 0.0 &&
+      rng_.chance(config_.drop_probability)) {
+    ++random_drops_;
+    return;
+  }
+  if (queue_bytes_ + wire > config_.queue_capacity_bytes) {
+    ++tail_drops_;
+    return;
+  }
+  if (!p.is_ack && queue_bytes_ + wire > config_.ecn_threshold_bytes) {
+    p.ecn_marked = true;
+    ++ecn_marks_;
+  }
+  account_queue_change(queue_bytes_ + wire);
+  // Strict priority: control packets (ACKs) bypass queued data, as RoCE
+  // deployments configure for CNP/ACK traffic classes.
+  if (p.is_ack) {
+    control_queue_.push_back(std::move(p));
+  } else {
+    queue_.push_back(std::move(p));
+  }
+  if (!busy_) start_transmission();
+}
+
+void NetLink::start_transmission() {
+  assert(!queue_.empty() || !control_queue_.empty());
+  busy_ = true;
+  std::deque<NetPacket>* q =
+      control_queue_.empty() ? &queue_ : &control_queue_;
+  const std::uint32_t wire = q->front().wire_bytes();
+  const SimTime tx = config_.bandwidth.transmit_time(wire);
+  sim_->schedule_after(tx, [this, q] {
+    NetPacket p = std::move(q->front());
+    q->pop_front();
+    const std::uint32_t wire_done = p.wire_bytes();
+    account_queue_change(queue_bytes_ - wire_done);
+    bytes_sent_ += wire_done;
+    ++packets_sent_;
+    // Hand off after propagation; the wire is free for the next packet now.
+    sim_->schedule_after(config_.propagation, [this, p = std::move(p)]() mutable {
+      if (deliver_) deliver_(std::move(p));
+    });
+    if (!queue_.empty() || !control_queue_.empty()) {
+      start_transmission();
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+double NetLink::mean_queue_bytes() const {
+  const SimTime now = sim_->now();
+  const double window = (now - stats_epoch_).sec();
+  if (window <= 0.0) return static_cast<double>(queue_bytes_);
+  const double integral =
+      queue_integral_ +
+      static_cast<double>(queue_bytes_) * (now - last_change_).sec();
+  return integral / window;
+}
+
+void NetLink::reset_stats() {
+  max_queue_bytes_ = queue_bytes_;
+  bytes_sent_ = 0;
+  packets_sent_ = 0;
+  tail_drops_ = 0;
+  random_drops_ = 0;
+  ecn_marks_ = 0;
+  queue_integral_ = 0.0;
+  last_change_ = sim_->now();
+  stats_epoch_ = sim_->now();
+}
+
+}  // namespace stellar

@@ -1,0 +1,103 @@
+// Unidirectional link with an output FIFO: the unit from which switches are
+// composed (each link is one switch/host egress port).
+//
+// Event-driven: a packet at the queue head occupies the wire for its
+// serialization time, then arrives at the far side after the propagation
+// delay. ECN is marked at enqueue when the backlog exceeds the threshold
+// (DCTCP-style). Optional random drop models the lossy link of Figure 11.
+//
+// Two traffic classes, as in production RoCE deployments: ACK/CNP control
+// packets ride a strict-priority queue ahead of data, so congestion-control
+// feedback is not delayed by a saturated reverse path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace stellar {
+
+struct LinkConfig {
+  Bandwidth bandwidth = Bandwidth::gbps(200);
+  SimTime propagation = SimTime::nanos(600);
+  std::uint64_t queue_capacity_bytes = 4u << 20;  // 4 MiB per port
+  std::uint64_t ecn_threshold_bytes = 256u << 10; // mark above 256 KiB
+  double drop_probability = 0.0;                  // random corruption/loss
+};
+
+class NetLink {
+ public:
+  using DeliverFn = std::function<void(NetPacket&&)>;
+
+  NetLink(Simulator& sim, std::string name, LinkConfig config,
+          std::uint64_t drop_seed = 1)
+      : sim_(&sim), name_(std::move(name)), config_(config), rng_(drop_seed) {}
+
+  NetLink(const NetLink&) = delete;
+  NetLink& operator=(const NetLink&) = delete;
+
+  /// Where packets go once they traverse this link (next link or endpoint).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+
+  /// Degrade (or restore) the link rate at runtime — models flapping
+  /// optics and asymmetric paths. Takes effect from the next transmission.
+  void set_bandwidth(Bandwidth bw) { config_.bandwidth = bw; }
+
+  /// Offer a packet to the egress queue. May tail-drop or randomly drop.
+  void enqueue(NetPacket&& p);
+
+  const std::string& name() const { return name_; }
+  const LinkConfig& config() const { return config_; }
+
+  // -- Statistics (reset with reset_stats() at measurement-window start) ----
+
+  std::uint64_t queue_bytes() const { return queue_bytes_; }
+  std::uint64_t max_queue_bytes() const { return max_queue_bytes_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t tail_drops() const { return tail_drops_; }
+  std::uint64_t random_drops() const { return random_drops_; }
+  std::uint64_t ecn_marks() const { return ecn_marks_; }
+
+  /// Time-weighted mean of queue depth since the last reset.
+  double mean_queue_bytes() const;
+
+  void reset_stats();
+
+ private:
+  void start_transmission();
+  void account_queue_change(std::uint64_t new_bytes);
+
+  Simulator* sim_;
+  std::string name_;
+  LinkConfig config_;
+  Rng rng_;
+  DeliverFn deliver_;
+
+  std::deque<NetPacket> queue_;       // data class
+  std::deque<NetPacket> control_queue_;  // strict-priority (ACK/CNP) class
+  bool busy_ = false;
+
+  std::uint64_t queue_bytes_ = 0;
+  std::uint64_t max_queue_bytes_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t tail_drops_ = 0;
+  std::uint64_t random_drops_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+
+  // Integral of queue_bytes over time, for the time-weighted mean.
+  double queue_integral_ = 0.0;     // byte-seconds
+  SimTime last_change_ = SimTime::zero();
+  SimTime stats_epoch_ = SimTime::zero();
+};
+
+}  // namespace stellar

@@ -1,0 +1,58 @@
+// Address Translation Cache: the device-side cache of ATS results
+// (PCIe ATS). Capacity is small — "tens of thousands of pages" per the
+// paper — which is what makes GDR throughput droop once the working set
+// outgrows it (Figure 8). Lives inside the requesting device (the RNIC).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "memory/address.h"
+#include "memory/lru.h"
+#include "pcie/host_pcie.h"
+
+namespace stellar {
+
+class Atc {
+ public:
+  Atc(HostPcie& fabric, Bdf owner, std::size_t capacity_pages)
+      : fabric_(&fabric), owner_(owner), cache_(capacity_pages) {}
+
+  struct Lookup {
+    Hpa hpa;
+    SimTime latency;  // zero-ish on hit; full ATS round-trip on miss
+    bool hit = false;
+    bool iotlb_hit = true;  // of the ATS walk, when a miss occurred
+  };
+
+  /// Translate an IoVa using the cache, falling back to an ATS request.
+  StatusOr<Lookup> translate(IoVa iova) {
+    const IoVa page = iova.align_down(kPage4K);
+    if (const Hpa* hit = cache_.get(page.value())) {
+      return Lookup{*hit + iova.page_offset(kPage4K), SimTime::nanos(5), true,
+                    true};
+    }
+    auto ats = fabric_->ats_translate(owner_, page);
+    if (!ats.is_ok()) return ats.status();
+    cache_.put(page.value(), ats.value().hpa.align_down(kPage4K));
+    return Lookup{ats.value().hpa + iova.page_offset(kPage4K),
+                  ats.value().latency, false, ats.value().iotlb_hit};
+  }
+
+  /// ATS invalidation from the RC (e.g. after an IOMMU unmap).
+  void invalidate_all() { cache_.clear(); }
+
+  std::uint64_t hits() const { return cache_.hits(); }
+  std::uint64_t misses() const { return cache_.misses(); }
+  double hit_rate() const { return cache_.hit_rate(); }
+  std::size_t capacity() const { return cache_.capacity(); }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  HostPcie* fabric_;
+  Bdf owner_;
+  LruCache<std::uint64_t, Hpa> cache_;
+};
+
+}  // namespace stellar

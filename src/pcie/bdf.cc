@@ -1,0 +1,13 @@
+#include "pcie/bdf.h"
+
+#include <cstdio>
+
+namespace stellar {
+
+std::string Bdf::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x.%x", bus(), device(), function());
+  return buf;
+}
+
+}  // namespace stellar

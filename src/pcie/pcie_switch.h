@@ -1,0 +1,82 @@
+// PCIe switch model: downstream ports, P2P routing and — critically for the
+// paper's Problem (3) — a capacity-limited Look-Up Table. Only BDFs with a
+// LUT slot may receive direct (ACS-bypassing) peer-to-peer traffic; on one
+// of Alibaba's server models the LUT holds just 32 entries, capping GDR-
+// capable VFs at 32 per server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "pcie/bdf.h"
+
+namespace stellar {
+
+class PcieSwitch {
+ public:
+  PcieSwitch(std::string name, std::size_t lut_capacity)
+      : name_(std::move(name)), lut_capacity_(lut_capacity) {}
+
+  const std::string& name() const { return name_; }
+
+  // -- Downstream ports ------------------------------------------------------
+
+  /// Attach a device (with its BAR) below this switch.
+  Status attach(Bdf bdf, Bar bar) {
+    if (ports_.count(bdf) != 0) {
+      return already_exists("PcieSwitch::attach: BDF already attached");
+    }
+    ports_.emplace(bdf, bar);
+    return Status::ok();
+  }
+
+  Status detach(Bdf bdf) {
+    lut_.erase(bdf);
+    if (ports_.erase(bdf) == 0) {
+      return not_found("PcieSwitch::detach: BDF not attached");
+    }
+    return Status::ok();
+  }
+
+  bool has_device(Bdf bdf) const { return ports_.count(bdf) != 0; }
+
+  /// Which attached device (if any) claims this HPA via its BAR?
+  std::optional<Bdf> device_claiming(Hpa addr) const {
+    for (const auto& [bdf, bar] : ports_) {
+      if (bar.contains(addr)) return bdf;
+    }
+    return std::nullopt;
+  }
+
+  // -- LUT (P2P permission table) --------------------------------------------
+
+  /// Register a BDF for direct P2P routing. Fails when the LUT is full —
+  /// the exact failure mode that prevents dense GDR deployments (§3.1(3)).
+  Status lut_register(Bdf bdf) {
+    if (lut_.count(bdf) != 0) return Status::ok();  // idempotent
+    if (lut_.size() >= lut_capacity_) {
+      return resource_exhausted("PcieSwitch LUT full (" + name_ + ")");
+    }
+    lut_.insert(bdf);
+    return Status::ok();
+  }
+
+  void lut_unregister(Bdf bdf) { lut_.erase(bdf); }
+  bool lut_contains(Bdf bdf) const { return lut_.count(bdf) != 0; }
+  std::size_t lut_size() const { return lut_.size(); }
+  std::size_t lut_capacity() const { return lut_capacity_; }
+  std::size_t lut_free() const { return lut_capacity_ - lut_.size(); }
+
+ private:
+  std::string name_;
+  std::size_t lut_capacity_;
+  std::unordered_map<Bdf, Bar> ports_;
+  std::unordered_set<Bdf> lut_;
+};
+
+}  // namespace stellar

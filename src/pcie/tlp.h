@@ -1,0 +1,37 @@
+// PCIe Transaction Layer Packet essentials: just the fields the Stellar
+// design decisions hinge on — most importantly the Address Translation (AT)
+// field that eMTT sets to 0b10 so switches route GDR writes peer-to-peer
+// without a Root Complex detour (Figure 7).
+#pragma once
+
+#include <cstdint>
+
+#include "pcie/bdf.h"
+
+namespace stellar {
+
+/// PCIe spec AT field encodings.
+enum class AtField : std::uint8_t {
+  kUntranslated = 0b00,        // address is an IoVa; IOMMU must translate
+  kTranslationRequest = 0b01,  // ATS translation request
+  kTranslated = 0b10,          // address is already an HPA
+};
+
+enum class TlpKind : std::uint8_t {
+  kMemRead,
+  kMemWrite,
+  kCompletion,
+  kAtsRequest,
+  kAtsCompletion,
+};
+
+struct Tlp {
+  TlpKind kind = TlpKind::kMemWrite;
+  Bdf requester;
+  AtField at = AtField::kUntranslated;
+  /// Raw 64-bit address; interpreted as HPA when at==kTranslated, else IoVa.
+  std::uint64_t address = 0;
+  std::uint32_t length = 0;  // payload bytes
+};
+
+}  // namespace stellar

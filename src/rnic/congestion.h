@@ -1,0 +1,195 @@
+// Congestion control for the Stellar transport.
+//
+// WindowCc is the production algorithm — a stand-in for the paper's
+// in-house "window-based CC that adjusts based on ECN and RTT" (§7.2):
+// DCTCP-style ECN-fraction estimation plus an RTT guard, with a single
+// congestion-control context shared by all paths of a connection (§9).
+//
+// SwiftCc is a delay-target alternative (in the spirit of Google's Swift)
+// kept for comparison: no ECN dependence, purely RTT-driven.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "common/units.h"
+
+namespace stellar {
+
+/// Interface every CC implementation satisfies; the transport only ever
+/// talks through it.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+  virtual bool can_send(std::uint64_t inflight_bytes) const = 0;
+  virtual void on_ack(std::uint32_t bytes, bool ecn_echo, SimTime rtt) = 0;
+  virtual void on_timeout() = 0;
+  virtual std::uint64_t window() const = 0;
+};
+
+struct CcConfig {
+  std::uint32_t mtu = 4096;
+  std::uint64_t init_window = 256 * 1024;   // ~2x BDP of the target fabric
+  std::uint64_t min_window = 4096;
+  std::uint64_t max_window = 1024 * 1024;
+  double ecn_gain = 0.0625;                 // DCTCP g
+  SimTime base_rtt = SimTime::micros(8);
+  double rtt_high_factor = 3.0;             // RTT guard threshold
+  double rtt_backoff = 0.85;                // multiplicative RTT response
+  /// Window response to an RTO. Stellar treats timeout loss as *failure*,
+  /// not congestion — congestion is owned by ECN/RTT, and a random-loss
+  /// link must not collapse the window (the Figure-11 resilience story).
+  /// 1.0 = no cut (production default); set 0.5 for TCP-like halving.
+  double timeout_backoff = 1.0;
+};
+
+class WindowCc final : public CongestionControl {
+ public:
+  explicit WindowCc(CcConfig config = {})
+      : config_(config), window_(config.init_window) {}
+
+  std::uint64_t window() const override { return window_; }
+
+  bool can_send(std::uint64_t inflight_bytes) const override {
+    return inflight_bytes < window_;
+  }
+
+  void on_ack(std::uint32_t bytes, bool ecn_echo, SimTime rtt) override {
+    // DCTCP alpha: EWMA of the marked fraction, updated per ACK with the
+    // byte-weighted contribution.
+    const double frac = ecn_echo ? 1.0 : 0.0;
+    const double w =
+        std::min(1.0, static_cast<double>(bytes) / static_cast<double>(window_));
+    alpha_ = (1.0 - config_.ecn_gain * w) * alpha_ + config_.ecn_gain * w * frac;
+
+    if (ecn_echo) {
+      // Proportional per-ACK decrease; integrates to the DCTCP per-window
+      // cut of alpha/2.
+      const double cut = alpha_ / 2.0 * static_cast<double>(bytes);
+      shrink(static_cast<std::uint64_t>(cut));
+    } else {
+      // Additive increase: ~1 MTU per RTT.
+      const double gain = static_cast<double>(config_.mtu) *
+                          static_cast<double>(bytes) /
+                          static_cast<double>(window_);
+      grow(static_cast<std::uint64_t>(gain) + 1);
+    }
+
+    // RTT guard: persistent queueing that ECN misses (e.g. on the reverse
+    // path) still triggers a decrease, rate-limited to once per RTT.
+    if (rtt > SimTime::picos(static_cast<std::int64_t>(
+                  config_.rtt_high_factor *
+                  static_cast<double>(config_.base_rtt.ps())))) {
+      if (acked_since_rtt_cut_ >= window_) {
+        window_ = std::max(
+            config_.min_window,
+            static_cast<std::uint64_t>(static_cast<double>(window_) *
+                                       config_.rtt_backoff));
+        acked_since_rtt_cut_ = 0;
+      }
+    }
+    acked_since_rtt_cut_ += bytes;
+  }
+
+  void on_timeout() override {
+    window_ = std::max(
+        config_.min_window,
+        static_cast<std::uint64_t>(static_cast<double>(window_) *
+                                   config_.timeout_backoff));
+  }
+
+  double alpha() const { return alpha_; }
+  const CcConfig& config() const { return config_; }
+
+ private:
+  void grow(std::uint64_t bytes) {
+    window_ = std::min(config_.max_window, window_ + bytes);
+  }
+  void shrink(std::uint64_t bytes) {
+    window_ = window_ > bytes ? window_ - bytes : config_.min_window;
+    window_ = std::max(config_.min_window, window_);
+  }
+
+  CcConfig config_;
+  std::uint64_t window_;
+  double alpha_ = 0.0;
+  std::uint64_t acked_since_rtt_cut_ = 0;
+};
+
+/// Delay-target window CC (Swift-flavoured): additive increase while the
+/// RTT sits below the target, multiplicative decrease proportional to the
+/// overshoot — ECN marks are ignored entirely.
+class SwiftCc final : public CongestionControl {
+ public:
+  explicit SwiftCc(CcConfig config = {})
+      : config_(config), window_(config.init_window) {}
+
+  std::uint64_t window() const override { return window_; }
+
+  bool can_send(std::uint64_t inflight_bytes) const override {
+    return inflight_bytes < window_;
+  }
+
+  void on_ack(std::uint32_t bytes, bool ecn_echo, SimTime rtt) override {
+    (void)ecn_echo;
+    // Target: base fabric RTT plus half a window's worth of queueing slack.
+    const double target_us = config_.base_rtt.us() * 1.5;
+    const double rtt_us = rtt.us();
+    if (rtt_us <= target_us) {
+      const double gain = static_cast<double>(config_.mtu) *
+                          static_cast<double>(bytes) /
+                          static_cast<double>(window_);
+      window_ = std::min(config_.max_window,
+                         window_ + static_cast<std::uint64_t>(gain) + 1);
+      acked_since_cut_ += bytes;
+      return;
+    }
+    // Overshoot: cut proportionally, at most once per window of ACKs.
+    acked_since_cut_ += bytes;
+    if (acked_since_cut_ < window_) return;
+    acked_since_cut_ = 0;
+    const double overshoot = std::min(0.5, (rtt_us - target_us) / rtt_us);
+    window_ = std::max(
+        config_.min_window,
+        static_cast<std::uint64_t>(static_cast<double>(window_) *
+                                   (1.0 - 0.8 * overshoot)));
+  }
+
+  void on_timeout() override {
+    window_ = std::max(
+        config_.min_window,
+        static_cast<std::uint64_t>(static_cast<double>(window_) *
+                                   config_.timeout_backoff));
+  }
+
+ private:
+  CcConfig config_;
+  std::uint64_t window_;
+  std::uint64_t acked_since_cut_ = 0;
+};
+
+enum class CcAlgo : std::uint8_t { kWindowEcnRtt, kSwiftDelay };
+
+inline std::unique_ptr<CongestionControl> make_congestion_control(
+    CcAlgo algo, const CcConfig& config) {
+  switch (algo) {
+    case CcAlgo::kWindowEcnRtt:
+      return std::make_unique<WindowCc>(config);
+    case CcAlgo::kSwiftDelay:
+      return std::make_unique<SwiftCc>(config);
+  }
+  return nullptr;
+}
+
+inline const char* cc_algo_name(CcAlgo algo) {
+  switch (algo) {
+    case CcAlgo::kWindowEcnRtt:
+      return "ECN+RTT window";
+    case CcAlgo::kSwiftDelay:
+      return "Swift-delay";
+  }
+  return "?";
+}
+
+}  // namespace stellar

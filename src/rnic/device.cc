@@ -1,0 +1,102 @@
+#include "rnic/device.h"
+
+#include <stdexcept>
+
+namespace stellar {
+
+Rnic::Rnic(HostPcie& pcie, Bdf pf_bdf, std::size_t switch_id,
+           RnicConfig config)
+    : pcie_(&pcie),
+      pf_bdf_(pf_bdf),
+      switch_id_(switch_id),
+      config_(std::move(config)),
+      mtt_(config_.mtt_capacity_pages) {
+  auto bar = pcie_->attach_device(pf_bdf_, switch_id_, config_.doorbell_bar_bytes);
+  if (!bar.is_ok()) {
+    throw std::runtime_error("Rnic: cannot attach PF: " +
+                             bar.status().to_string());
+  }
+  bar_ = bar.value();
+}
+
+StatusOr<SimTime> Rnic::set_num_vfs(std::uint32_t count) {
+  if (count > config_.max_vfs) {
+    return resource_exhausted("Rnic: VF count exceeds hardware maximum");
+  }
+  if (!vfs_.empty() && count != 0) {
+    // The vendor constraint of Problem (1): no incremental reconfiguration.
+    return failed_precondition(
+        "Rnic: VF count can only change between zero and a value; "
+        "destroy all VFs first");
+  }
+  SimTime cost = SimTime::zero();
+  if (count == 0) {
+    for (const VfState& vf : vfs_) {
+      pcie_->disable_p2p(vf.bdf);
+      (void)pcie_->detach_device(vf.bdf);
+    }
+    vfs_.clear();
+    cost = config_.vf_reset_time;
+    return cost;
+  }
+  cost = config_.vf_reset_time;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // VFs take function numbers after the PF on the same bus/device.
+    const Bdf bdf{pf_bdf_.bus(),
+                  static_cast<std::uint8_t>(pf_bdf_.device() + 1 + i / 8),
+                  static_cast<std::uint8_t>((i % 8))};
+    auto bar = pcie_->attach_device(bdf, switch_id_, kPage4K * 64);
+    if (!bar.is_ok()) {
+      // Roll back partial creation.
+      for (const VfState& vf : vfs_) (void)pcie_->detach_device(vf.bdf);
+      vfs_.clear();
+      return bar.status();
+    }
+    vfs_.push_back(VfState{bdf});
+    cost += config_.vf_create_time;
+  }
+  return cost;
+}
+
+StatusOr<Bdf> Rnic::vf_bdf(std::uint32_t index) const {
+  if (index >= vfs_.size()) return out_of_range("Rnic: VF index");
+  return vfs_[index].bdf;
+}
+
+Status Rnic::enable_vf_gdr(std::uint32_t index) {
+  if (index >= vfs_.size()) return out_of_range("Rnic: VF index");
+  return pcie_->enable_p2p(vfs_[index].bdf);
+}
+
+StatusOr<Rnic::VirtualDevice> Rnic::create_virtual_device(VmId vm) {
+  if (vdevs_.size() >= config_.max_virtual_devices) {
+    return resource_exhausted("Rnic: virtual device limit reached");
+  }
+  std::uint64_t offset;
+  if (!free_doorbells_.empty()) {
+    offset = free_doorbells_.back();
+    free_doorbells_.pop_back();
+  } else {
+    if (next_doorbell_offset_ + kPage4K > config_.doorbell_bar_bytes) {
+      return resource_exhausted("Rnic: doorbell BAR exhausted");
+    }
+    offset = next_doorbell_offset_;
+    next_doorbell_offset_ += kPage4K;
+  }
+  VirtualDevice dev;
+  dev.id = next_vdev_id_++;
+  dev.doorbell = bar_.base + offset;
+  dev.vm = vm;
+  vdevs_.emplace(dev.id, dev);
+  return dev;
+}
+
+Status Rnic::destroy_virtual_device(std::uint32_t id) {
+  auto it = vdevs_.find(id);
+  if (it == vdevs_.end()) return not_found("Rnic: unknown virtual device");
+  free_doorbells_.push_back(it->second.doorbell - bar_.base);
+  vdevs_.erase(it);
+  return Status::ok();
+}
+
+}  // namespace stellar

@@ -1,0 +1,92 @@
+#include "rnic/gdr.h"
+
+#include <algorithm>
+
+namespace stellar {
+
+const char* gdr_mode_name(GdrMode mode) {
+  switch (mode) {
+    case GdrMode::kEmtt:
+      return "eMTT";
+    case GdrMode::kAtsAtc:
+      return "ATS/ATC";
+    case GdrMode::kRcRouted:
+      return "RC-routed";
+  }
+  return "?";
+}
+
+GdrTransfer GdrEngine::transfer(IoVa iova, std::uint64_t len) {
+  GdrTransfer out;
+  if (len == 0) return out;
+
+  const std::uint32_t page = config_.page_size;
+  const std::uint64_t pages = pages_covering(iova, len, page);
+
+  // Per-page serialization time on the NIC port, including TLP overhead.
+  const SimTime page_wire =
+      config_.nic_rate.transmit_time(page + config_.wire_overhead);
+
+  // RC-routed P2P (HyV/MasQ): the Root Complex forwarding rate is the
+  // bottleneck; translation latency hides entirely behind it.
+  const Bandwidth rc_cap = fabric_->config().rc_p2p_bandwidth;
+  const SimTime rc_page_wire = rc_cap.transmit_time(page + config_.wire_overhead);
+
+  // Classify the PCIe route once per transfer with a probe TLP — the
+  // remaining TLPs of the message follow the identical path. eMTT emits
+  // pre-translated TLPs; RC-routed (HyV/MasQ) emits untranslated ones.
+  bool emtt_via_rc = false;
+  if (mode_ == GdrMode::kEmtt || mode_ == GdrMode::kRcRouted) {
+    Tlp probe;
+    probe.requester = config_.requester;
+    probe.at = mode_ == GdrMode::kEmtt ? AtField::kTranslated
+                                       : AtField::kUntranslated;
+    probe.address = iova.value();
+    probe.length = page;
+    auto outcome = fabric_->dma(probe);
+    emtt_via_rc = outcome.is_ok() &&
+                  outcome.value().route != DmaOutcome::Route::kDirectP2P;
+  }
+
+  std::int64_t total_ps = 0;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const IoVa addr = iova.align_down(page) + i * page;
+    switch (mode_) {
+      case GdrMode::kEmtt:
+        // Final HPA comes from the eMTT at line rate; the switch routes
+        // P2P. If ACS/LUT forces an RC detour, the RC cap applies.
+        total_ps += emtt_via_rc
+                        ? std::max(page_wire.ps(), rc_page_wire.ps())
+                        : page_wire.ps();
+        break;
+      case GdrMode::kRcRouted:
+        total_ps += std::max(page_wire.ps(), rc_page_wire.ps());
+        break;
+      case GdrMode::kAtsAtc: {
+        std::int64_t stall_ps = 0;
+        auto lookup = atc_->translate(addr);
+        if (lookup.is_ok() && !lookup.value().hit) {
+          ++out.atc_misses;
+          // ATS round trip amortized over the NIC's translation pipeline.
+          stall_ps = lookup.value().latency.ps() /
+                     static_cast<std::int64_t>(config_.ats_pipeline_depth);
+          if (!lookup.value().iotlb_hit) {
+            ++out.iotlb_misses;
+            // The IOMMU serializes page walks much harder than the NIC
+            // pipelines ATS requests — this is the second Figure-8 cliff.
+            stall_ps += fabric_->iommu().config().page_walk_latency.ps() /
+                        static_cast<std::int64_t>(config_.iommu_walk_depth);
+          }
+        }
+        total_ps += page_wire.ps() + stall_ps;
+        break;
+      }
+    }
+  }
+
+  out.duration = SimTime::picos(total_ps);
+  out.gbps = static_cast<double>(len) * 8.0 / out.duration.sec() / 1e9;
+  return out;
+}
+
+}  // namespace stellar

@@ -1,0 +1,71 @@
+// GDR data-path engine: models sustained GPU Direct RDMA throughput for the
+// three translation designs compared in Figures 8 and 14:
+//
+//   kEmtt      - Stellar: MTT holds the final HPA; TLPs go out pre-
+//                translated and P2P-route at the switch. No per-page stall.
+//   kAtsAtc    - SR-IOV/VF baseline: MTT holds an IoVa; the RNIC's ATC
+//                caches ATS results. ATC misses stall the pipeline; on top,
+//                IOMMU IOTLB misses during the ATS walk stall further.
+//   kRcRouted  - HyV/MasQ: untranslated TLPs detour through the Root
+//                Complex, whose P2P forwarding bandwidth caps throughput.
+//
+// The engine walks a message page-by-page against the *real* ATC/IOTLB
+// LRU state, so the throughput cliffs emerge from cache capacities and the
+// access pattern, not from hard-coded breakpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "memory/address.h"
+#include "pcie/atc.h"
+#include "pcie/host_pcie.h"
+
+namespace stellar {
+
+enum class GdrMode { kEmtt, kAtsAtc, kRcRouted };
+
+const char* gdr_mode_name(GdrMode mode);
+
+struct GdrEngineConfig {
+  Bandwidth nic_rate = Bandwidth::gbps(400);
+  /// The issuing NIC function; used to classify the PCIe route (direct P2P
+  /// vs RC detour) with a probe TLP per transfer.
+  Bdf requester;
+  std::uint32_t page_size = 4096;   // paper tests 4 KiB GDR pages
+  std::uint32_t wire_overhead = 66; // per-TLP header bytes on the NIC port
+  /// Concurrent ATS requests the NIC sustains; an ATC-miss stall is the ATS
+  /// round trip divided by this depth (pipelined translation).
+  std::uint32_t ats_pipeline_depth = 32;
+  /// Concurrent page walks the IOMMU sustains during ATS service.
+  std::uint32_t iommu_walk_depth = 8;
+};
+
+/// Result of pushing one message through the engine.
+struct GdrTransfer {
+  SimTime duration;
+  double gbps = 0.0;
+  std::uint64_t atc_misses = 0;
+  std::uint64_t iotlb_misses = 0;
+};
+
+class GdrEngine {
+ public:
+  /// `atc` may be null for kEmtt / kRcRouted modes.
+  GdrEngine(HostPcie& fabric, GdrEngineConfig config, GdrMode mode, Atc* atc)
+      : fabric_(&fabric), config_(config), mode_(mode), atc_(atc) {}
+
+  /// Model a GDR WRITE of `len` bytes starting at device address `iova`
+  /// (pages are touched sequentially, as perftest does).
+  GdrTransfer transfer(IoVa iova, std::uint64_t len);
+
+  GdrMode mode() const { return mode_; }
+
+ private:
+  HostPcie* fabric_;
+  GdrEngineConfig config_;
+  GdrMode mode_;
+  Atc* atc_;
+};
+
+}  // namespace stellar

@@ -1,0 +1,243 @@
+#include "rnic/multipath.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace stellar {
+
+const char* multipath_algo_name(MultipathAlgo algo) {
+  switch (algo) {
+    case MultipathAlgo::kSinglePath:
+      return "SinglePath";
+    case MultipathAlgo::kRoundRobin:
+      return "RR";
+    case MultipathAlgo::kObs:
+      return "OBS";
+    case MultipathAlgo::kDwrr:
+      return "DWRR";
+    case MultipathAlgo::kBestRtt:
+      return "BestRTT";
+    case MultipathAlgo::kMprdmaLike:
+      return "MPRDMA";
+    case MultipathAlgo::kFlowlet:
+      return "Flowlet";
+  }
+  return "?";
+}
+
+namespace {
+
+class SinglePath final : public PathSelector {
+ public:
+  SinglePath(std::uint16_t n, std::uint64_t seed)
+      : n_(n), fixed_(static_cast<std::uint16_t>(hash_mix(seed) % n)) {}
+  std::uint16_t pick() override { return fixed_; }
+  std::uint16_t num_paths() const override { return n_; }
+
+ private:
+  std::uint16_t n_;
+  std::uint16_t fixed_;
+};
+
+class RoundRobin final : public PathSelector {
+ public:
+  RoundRobin(std::uint16_t n, std::uint64_t seed)
+      : n_(n), next_(static_cast<std::uint16_t>(hash_mix(seed) % n)) {}
+  std::uint16_t pick() override {
+    const std::uint16_t p = next_;
+    next_ = static_cast<std::uint16_t>((next_ + 1) % n_);
+    return p;
+  }
+  std::uint16_t num_paths() const override { return n_; }
+
+ private:
+  std::uint16_t n_;
+  std::uint16_t next_;
+};
+
+class Obs final : public PathSelector {
+ public:
+  Obs(std::uint16_t n, std::uint64_t seed) : n_(n), rng_(seed) {}
+  std::uint16_t pick() override {
+    return static_cast<std::uint16_t>(rng_.below(n_));
+  }
+  std::uint16_t num_paths() const override { return n_; }
+
+ private:
+  std::uint16_t n_;
+  Rng rng_;
+};
+
+/// Shared per-path RTT/ECN bookkeeping for the adaptive selectors.
+struct PathScore {
+  double rtt_us = 10.0;   // EWMA RTT estimate
+  double ecn = 0.0;       // EWMA of ECN-mark fraction
+  void update(SimTime rtt, bool ecn_mark) {
+    constexpr double kG = 0.125;
+    rtt_us = (1 - kG) * rtt_us + kG * rtt.us();
+    ecn = (1 - kG) * ecn + kG * (ecn_mark ? 1.0 : 0.0);
+  }
+};
+
+class BestRtt final : public PathSelector {
+ public:
+  BestRtt(std::uint16_t n, std::uint64_t seed) : scores_(n), rng_(seed) {}
+  std::uint16_t pick() override {
+    // 5% exploration keeps stale paths' estimates alive; otherwise greedy.
+    if (rng_.chance(0.05)) {
+      return static_cast<std::uint16_t>(rng_.below(scores_.size()));
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < scores_.size(); ++i) {
+      if (scores_[i].rtt_us < scores_[best].rtt_us) best = i;
+    }
+    return static_cast<std::uint16_t>(best);
+  }
+  void on_ack(std::uint16_t path, SimTime rtt, bool ecn) override {
+    scores_[path].update(rtt, ecn);
+  }
+  void on_timeout(std::uint16_t path) override {
+    scores_[path].rtt_us *= 2.0;  // back off a path that lost packets
+  }
+  std::uint16_t num_paths() const override {
+    return static_cast<std::uint16_t>(scores_.size());
+  }
+
+ private:
+  std::vector<PathScore> scores_;
+  Rng rng_;
+};
+
+class Dwrr final : public PathSelector {
+ public:
+  Dwrr(std::uint16_t n, std::uint64_t seed)
+      : scores_(n), credits_(n, 0.0), rng_(seed) {}
+
+  std::uint16_t pick() override {
+    // Pick the path with the largest credit; replenish proportionally to
+    // weight (inverse RTT) when everything is exhausted. Low-RTT paths get
+    // served more often — the concentration Figure 10a punishes.
+    auto max_it = std::max_element(credits_.begin(), credits_.end());
+    if (*max_it < 1.0) {
+      replenish();
+      max_it = std::max_element(credits_.begin(), credits_.end());
+    }
+    *max_it -= 1.0;
+    return static_cast<std::uint16_t>(max_it - credits_.begin());
+  }
+  void on_ack(std::uint16_t path, SimTime rtt, bool ecn) override {
+    scores_[path].update(rtt, ecn);
+  }
+  void on_timeout(std::uint16_t path) override {
+    scores_[path].rtt_us *= 2.0;
+  }
+  std::uint16_t num_paths() const override {
+    return static_cast<std::uint16_t>(scores_.size());
+  }
+
+ private:
+  void replenish() {
+    double min_rtt = scores_[0].rtt_us;
+    for (const auto& s : scores_) min_rtt = std::min(min_rtt, s.rtt_us);
+    for (std::size_t i = 0; i < credits_.size(); ++i) {
+      // Weight in [0,1]: quadratic falloff with relative RTT, so a path at
+      // 2x the best RTT receives a quarter of the quantum.
+      const double rel = min_rtt / scores_[i].rtt_us;
+      credits_[i] += 8.0 * rel * rel;
+    }
+  }
+  std::vector<PathScore> scores_;
+  std::vector<double> credits_;
+  Rng rng_;
+};
+
+class MprdmaLike final : public PathSelector {
+ public:
+  MprdmaLike(std::uint16_t n, std::uint64_t seed) : scores_(n), rng_(seed) {}
+
+  std::uint16_t pick() override {
+    // Two random candidates; keep the one with the lower congestion signal
+    // (power-of-two-choices over ECN history). Retains high fan-out while
+    // steering around marked paths, mimicking MP-RDMA's congestion-aware
+    // path selection.
+    const auto a = static_cast<std::uint16_t>(rng_.below(scores_.size()));
+    const auto b = static_cast<std::uint16_t>(rng_.below(scores_.size()));
+    return scores_[a].ecn <= scores_[b].ecn ? a : b;
+  }
+  void on_ack(std::uint16_t path, SimTime rtt, bool ecn) override {
+    scores_[path].update(rtt, ecn);
+  }
+  void on_timeout(std::uint16_t path) override {
+    scores_[path].ecn = 1.0;  // strongly avoid a path that lost packets
+  }
+  std::uint16_t num_paths() const override {
+    return static_cast<std::uint16_t>(scores_.size());
+  }
+
+ private:
+  std::vector<PathScore> scores_;
+  Rng rng_;
+};
+
+class Flowlet final : public PathSelector {
+ public:
+  Flowlet(std::uint16_t n, std::uint64_t seed, SimTime gap)
+      : n_(n), rng_(seed), gap_(gap),
+        current_(static_cast<std::uint16_t>(rng_.below(n))) {}
+
+  std::uint16_t pick() override { return pick_at(last_); }
+
+  std::uint16_t pick_at(SimTime now) override {
+    // A gap larger than the flowlet timeout starts a new flowlet on a
+    // fresh random path; consecutive packets stick to the current one, so
+    // no reordering can occur within a flowlet.
+    if (now - last_ > gap_) {
+      current_ = static_cast<std::uint16_t>(rng_.below(n_));
+    }
+    last_ = now;
+    return current_;
+  }
+
+  void on_timeout(std::uint16_t path) override {
+    if (path == current_) {
+      current_ = static_cast<std::uint16_t>(rng_.below(n_));
+    }
+  }
+
+  std::uint16_t num_paths() const override { return n_; }
+
+ private:
+  std::uint16_t n_;
+  Rng rng_;
+  SimTime gap_;
+  std::uint16_t current_;
+  SimTime last_;
+};
+
+}  // namespace
+
+std::unique_ptr<PathSelector> PathSelector::create(MultipathAlgo algo,
+                                                   std::uint16_t num_paths,
+                                                   std::uint64_t seed) {
+  switch (algo) {
+    case MultipathAlgo::kSinglePath:
+      return std::make_unique<SinglePath>(num_paths, seed);
+    case MultipathAlgo::kRoundRobin:
+      return std::make_unique<RoundRobin>(num_paths, seed);
+    case MultipathAlgo::kObs:
+      return std::make_unique<Obs>(num_paths, seed);
+    case MultipathAlgo::kDwrr:
+      return std::make_unique<Dwrr>(num_paths, seed);
+    case MultipathAlgo::kBestRtt:
+      return std::make_unique<BestRtt>(num_paths, seed);
+    case MultipathAlgo::kMprdmaLike:
+      return std::make_unique<MprdmaLike>(num_paths, seed);
+    case MultipathAlgo::kFlowlet:
+      // Gap chosen above the fabric's one-way delay spread so flowlet
+      // boundaries cannot reorder (Let-It-Flow's criterion).
+      return std::make_unique<Flowlet>(num_paths, seed, SimTime::micros(20));
+  }
+  return nullptr;
+}
+
+}  // namespace stellar

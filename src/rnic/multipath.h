@@ -1,0 +1,73 @@
+// Multipath path-selection algorithms evaluated in §7.2.
+//
+// A selector picks the path id carried by each outgoing packet. Stellar's
+// production choice is 128-path Oblivious Packet Spraying (OBS); the other
+// algorithms are the baselines of Figures 9-12:
+//   SinglePath  - classic RDMA: every packet of a connection on one path.
+//   RoundRobin  - deterministic cycling over all paths.
+//   OBS         - uniform pseudo-random path per packet (oblivious).
+//   DWRR        - dynamic weighted round-robin; weights track per-path RTT.
+//   BestRtt     - latency-greedy: prefer the lowest-EWMA-RTT path.
+//   MprdmaLike  - congestion-aware probabilistic spraying in the spirit of
+//                 MP-RDMA's per-path ACK clocking (ECN-penalised paths are
+//                 chosen less often).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace stellar {
+
+enum class MultipathAlgo {
+  kSinglePath,
+  kRoundRobin,
+  kObs,
+  kDwrr,
+  kBestRtt,
+  kMprdmaLike,
+  // Flowlet switching (§7.1): keep the current path while packets follow
+  // each other closely; re-pick a random path after an idle gap long
+  // enough that in-flight reordering is impossible. The paper plans to
+  // enable this on older-generation GPU clusters — provided here as the
+  // implemented extension.
+  kFlowlet,
+};
+
+const char* multipath_algo_name(MultipathAlgo algo);
+
+class PathSelector {
+ public:
+  virtual ~PathSelector() = default;
+
+  /// Choose the path id for the next packet.
+  virtual std::uint16_t pick() = 0;
+
+  /// Time-aware variant used by gap-sensitive selectors (flowlet); the
+  /// default ignores the clock.
+  virtual std::uint16_t pick_at(SimTime now) {
+    (void)now;
+    return pick();
+  }
+
+  /// Feedback from an acknowledged packet sent on `path`.
+  virtual void on_ack(std::uint16_t path, SimTime rtt, bool ecn) {
+    (void)path;
+    (void)rtt;
+    (void)ecn;
+  }
+
+  /// Feedback from a retransmission timeout on `path`.
+  virtual void on_timeout(std::uint16_t path) { (void)path; }
+
+  virtual std::uint16_t num_paths() const = 0;
+
+  static std::unique_ptr<PathSelector> create(MultipathAlgo algo,
+                                              std::uint16_t num_paths,
+                                              std::uint64_t seed);
+};
+
+}  // namespace stellar

@@ -1,0 +1,462 @@
+#include "rnic/transport.h"
+
+#include <cassert>
+
+namespace stellar {
+
+// ---------------------------------------------------------------------------
+// RdmaConnection (sender side)
+// ---------------------------------------------------------------------------
+
+RdmaConnection::RdmaConnection(RdmaEngine& engine, std::uint64_t id,
+                               EndpointId local, EndpointId remote,
+                               const TransportConfig& config)
+    : engine_(engine),
+      config_(config),
+      id_(id),
+      local_(local),
+      remote_(remote),
+      cc_(make_congestion_control(config.cc_algo, config.cc)),
+      selector_(PathSelector::create(config.algo, config.num_paths,
+                                     hash_combine(id, 0xA11CE))) {
+  if (config_.per_path_cc) {
+    // Split the silicon budget: each path context gets a 1/paths share of
+    // the window resources (the §9 trade-off made concrete).
+    CcConfig per_path = config_.cc;
+    per_path.init_window =
+        std::max<std::uint64_t>(per_path.mtu,
+                                per_path.init_window / config_.num_paths);
+    per_path.max_window =
+        std::max<std::uint64_t>(per_path.mtu,
+                                per_path.max_window / config_.num_paths);
+    per_path.min_window = std::min(per_path.min_window, per_path.init_window);
+    per_path_cc_.reserve(config_.num_paths);
+    for (std::uint16_t p = 0; p < config_.num_paths; ++p) {
+      per_path_cc_.push_back(
+          make_congestion_control(config_.cc_algo, per_path));
+    }
+    per_path_inflight_.assign(config_.num_paths, 0);
+  }
+}
+
+std::uint64_t RdmaConnection::window() const {
+  if (!config_.per_path_cc) return cc_->window();
+  std::uint64_t total = 0;
+  for (const auto& cc : per_path_cc_) total += cc->window();
+  return total;
+}
+
+bool RdmaConnection::admit(std::uint16_t path, std::uint32_t bytes) const {
+  (void)bytes;
+  if (!config_.per_path_cc) return cc_->can_send(inflight_bytes_);
+  return per_path_cc_[path]->can_send(per_path_inflight_[path]);
+}
+
+CongestionControl& RdmaConnection::cc_for(std::uint16_t path) {
+  return config_.per_path_cc ? *per_path_cc_[path] : *cc_;
+}
+
+std::uint64_t RdmaConnection::enqueue_message(std::uint64_t bytes,
+                                              PacketKind kind,
+                                              std::uint32_t tag,
+                                              Completion on_complete) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  Message msg;
+  msg.id = msg_id;
+  msg.total = bytes;
+  msg.tag = tag;
+  msg.kind = kind;
+  msg.on_complete = std::move(on_complete);
+  messages_.emplace(msg_id, std::move(msg));
+  unsent_queue_.push_back(msg_id);
+  send_more();
+  return msg_id;
+}
+
+std::uint64_t RdmaConnection::post_write(std::uint64_t bytes,
+                                         Completion on_complete,
+                                         std::uint32_t tag) {
+  return enqueue_message(bytes, PacketKind::kWrite, tag,
+                         std::move(on_complete));
+}
+
+std::uint64_t RdmaConnection::post_send(std::uint64_t bytes,
+                                        Completion on_complete,
+                                        std::uint32_t tag) {
+  return enqueue_message(bytes, PacketKind::kSend, tag,
+                         std::move(on_complete));
+}
+
+std::uint64_t RdmaConnection::post_read(std::uint64_t bytes,
+                                        Completion on_data) {
+  // The request is a small reliable control message; the tag carries the
+  // read id the requester's engine uses to complete `on_data` when the
+  // response lands. The responder reads the wanted length from msg_bytes.
+  const std::uint64_t read_id = engine_.next_read_id_++;
+  engine_.pending_reads_.emplace(read_id,
+                                 RdmaEngine::PendingRead{std::move(on_data)});
+  return enqueue_message(bytes, PacketKind::kReadRequest,
+                         static_cast<std::uint32_t>(read_id), {});
+}
+
+std::uint16_t RdmaConnection::pick_path() {
+  std::uint16_t path = selector_->pick_at(engine_.simulator().now());
+  if (config_.blacklist_threshold == 0 || blacklist_.empty()) return path;
+  const SimTime now = engine_.simulator().now();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto it = blacklist_.find(path);
+    if (it == blacklist_.end()) return path;
+    if (it->second <= now) {  // hold-down expired: give it another chance
+      blacklist_.erase(it);
+      path_timeout_streak_[path] = 0;
+      return path;
+    }
+    path = selector_->pick_at(now);
+  }
+  return path;  // everything looks dead: send anyway, RTO will sort it out
+}
+
+void RdmaConnection::note_path_timeout(std::uint16_t path) {
+  selector_->on_timeout(path);
+  if (config_.blacklist_threshold == 0) return;
+  if (++path_timeout_streak_[path] >= config_.blacklist_threshold) {
+    blacklist_[path] =
+        engine_.simulator().now() + config_.blacklist_hold;
+  }
+}
+
+void RdmaConnection::note_path_ack(std::uint16_t path) {
+  if (config_.blacklist_threshold == 0) return;
+  path_timeout_streak_[path] = 0;
+  blacklist_.erase(path);
+}
+
+void RdmaConnection::send_more() {
+  while (!unsent_queue_.empty()) {
+    Message& msg = messages_.at(unsent_queue_.front());
+    const std::uint64_t remaining = msg.total - msg.sent;
+    // READ requests ride as one small control packet regardless of the
+    // requested length.
+    const auto chunk = msg.kind == PacketKind::kReadRequest
+                           ? 64u
+                           : static_cast<std::uint32_t>(
+                                 std::min<std::uint64_t>(config_.mtu,
+                                                         remaining));
+    const std::uint16_t path = pick_path();
+    if (!admit(path, chunk)) break;
+
+    Outstanding meta;
+    meta.bytes = chunk;
+    meta.path = path;
+    meta.sent_at = engine_.simulator().now();
+    meta.msg_id = msg.id;
+    meta.msg_offset = msg.sent;
+    meta.msg_total = msg.total;
+    meta.msg_tag = msg.tag;
+    meta.kind = msg.kind;
+
+    const std::uint64_t psn = next_psn_++;
+    outstanding_.emplace(psn, meta);
+    inflight_bytes_ += chunk;
+    if (config_.per_path_cc) per_path_inflight_[path] += chunk;
+    msg.sent = msg.kind == PacketKind::kReadRequest ? msg.total
+                                                    : msg.sent + chunk;
+    if (msg.sent >= msg.total) unsent_queue_.pop_front();
+
+    transmit(psn, meta);
+  }
+  arm_rto();
+}
+
+void RdmaConnection::transmit(std::uint64_t psn, const Outstanding& meta) {
+  NetPacket p;
+  p.kind = meta.kind;
+  p.conn_id = id_;
+  p.psn = psn;
+  p.payload = meta.bytes;
+  p.header = 64 + config_.extra_header_bytes;
+  p.msg_id = meta.msg_id;
+  p.msg_bytes = meta.msg_total;
+  p.msg_offset = meta.msg_offset;
+  p.msg_tag = meta.msg_tag;
+  p.src = local_;
+  p.dst = remote_;
+  p.path_id = meta.path;
+  ++packets_sent_;
+
+  // Stack processing before the wire: a fixed per-packet delay plus the
+  // encap engine's sustained-rate pacing (Figure 13's VF+VxLAN tax).
+  SimTime depart = engine_.simulator().now() + config_.per_packet_overhead;
+  if (config_.stack_rate_cap.bps() > 0) {
+    if (stack_next_free_ > depart) depart = stack_next_free_;
+    stack_next_free_ =
+        depart + config_.stack_rate_cap.transmit_time(p.wire_bytes());
+  }
+  if (depart > engine_.simulator().now()) {
+    engine_.simulator().schedule_at(
+        depart, [this, p = std::move(p)]() mutable {
+          Status s = engine_.fabric().send(std::move(p));
+          assert(s.is_ok());
+          (void)s;
+        });
+    return;
+  }
+  Status s = engine_.fabric().send(std::move(p));
+  assert(s.is_ok());
+  (void)s;
+}
+
+void RdmaConnection::handle_ack(const NetPacket& ack) {
+  auto it = outstanding_.find(ack.ack_psn);
+  if (it == outstanding_.end()) return;  // ack for a superseded copy
+  const Outstanding meta = it->second;
+  outstanding_.erase(it);
+
+  const SimTime rtt = engine_.simulator().now() - meta.sent_at;
+  cc_for(meta.path).on_ack(meta.bytes, ack.ecn_echo, rtt);
+  selector_->on_ack(meta.path, rtt, ack.ecn_echo);
+  note_path_ack(meta.path);
+  inflight_bytes_ -= meta.bytes;
+  if (config_.per_path_cc) per_path_inflight_[meta.path] -= meta.bytes;
+
+  auto msg_it = messages_.find(meta.msg_id);
+  if (msg_it != messages_.end()) {
+    Message& msg = msg_it->second;
+    msg.acked += meta.kind == PacketKind::kReadRequest ? msg.total
+                                                       : meta.bytes;
+    if (msg.acked >= msg.total) {
+      completed_bytes_ += msg.total;
+      ++completed_messages_;
+      Completion cb = std::move(msg.on_complete);
+      messages_.erase(msg_it);
+      if (cb) cb();
+    }
+  }
+
+  arm_rto();
+  send_more();
+}
+
+void RdmaConnection::arm_rto() {
+  Simulator& sim = engine_.simulator();
+  if (rto_event_.valid()) {
+    sim.cancel(rto_event_);
+    rto_event_ = EventHandle{};
+  }
+  if (outstanding_.empty()) return;
+  SimTime oldest = SimTime::max();
+  for (const auto& [psn, meta] : outstanding_) {
+    if (meta.sent_at < oldest) oldest = meta.sent_at;
+  }
+  SimTime deadline = oldest + config_.rto;
+  if (deadline < sim.now()) deadline = sim.now();
+  rto_event_ = sim.schedule_at(deadline, [this] {
+    rto_event_ = EventHandle{};
+    on_rto_fire();
+  });
+}
+
+void RdmaConnection::on_rto_fire() {
+  Simulator& sim = engine_.simulator();
+  const SimTime now = sim.now();
+  bool fired = false;
+  for (auto& [psn, meta] : outstanding_) {
+    if (now - meta.sent_at < config_.rto) continue;
+    if (++meta.retries > config_.max_retries) {
+      // Retry budget exhausted: the peer (or every path to it) is gone.
+      // Move the QP to error instead of spinning the RTO forever.
+      error_ = true;
+      continue;
+    }
+    // Retransmit on a *different* path: the paper's instant-failover trick —
+    // a broken link only costs one RTO before traffic routes around it.
+    note_path_timeout(meta.path);
+    if (config_.per_path_cc) {
+      per_path_inflight_[meta.path] -= meta.bytes;
+      per_path_cc_[meta.path]->on_timeout();
+    }
+    meta.path = pick_path();
+    if (config_.per_path_cc) per_path_inflight_[meta.path] += meta.bytes;
+    meta.sent_at = now;
+    ++retransmits_;
+    fired = true;
+    transmit(psn, meta);
+  }
+  if (error_) {
+    // Flush all state; pending messages never complete (QP error).
+    outstanding_.clear();
+    inflight_bytes_ = 0;
+    if (config_.per_path_cc) {
+      per_path_inflight_.assign(config_.num_paths, 0);
+    }
+    arm_rto();
+    return;
+  }
+  if (fired) {
+    ++timeouts_;
+    if (!config_.per_path_cc) cc_->on_timeout();
+  }
+  arm_rto();
+}
+
+// ---------------------------------------------------------------------------
+// RdmaEngine
+// ---------------------------------------------------------------------------
+
+RdmaEngine::RdmaEngine(Simulator& sim, ClosFabric& fabric, EndpointId self)
+    : sim_(&sim), fabric_(&fabric), self_(self) {
+  fabric_->set_handler(self_, [this](NetPacket&& p) { on_packet(std::move(p)); });
+}
+
+StatusOr<RdmaConnection*> RdmaEngine::connect(EndpointId remote,
+                                              const TransportConfig& config) {
+  if (remote == self_) {
+    return invalid_argument("RdmaEngine::connect: self-connection");
+  }
+  if (fabric_->physical_paths(self_, remote) == 0) {
+    return invalid_argument(
+        "RdmaEngine::connect: endpoints not reachable (rail/plane mismatch)");
+  }
+  const std::uint64_t id = (static_cast<std::uint64_t>(self_) << 24) |
+                           next_conn_seq_++;
+  auto conn = std::unique_ptr<RdmaConnection>(
+      new RdmaConnection(*this, id, self_, remote, config));
+  RdmaConnection* raw = conn.get();
+  connections_.push_back(std::move(conn));
+  by_id_.emplace(id, raw);
+  return raw;
+}
+
+RdmaConnection& RdmaEngine::reverse_connection(std::uint64_t forward_id,
+                                               EndpointId peer) {
+  const std::uint64_t id = forward_id | kReverseFlag;
+  auto it = by_id_.find(id);
+  if (it != by_id_.end()) return *it->second;
+  auto conn = std::unique_ptr<RdmaConnection>(
+      new RdmaConnection(*this, id, self_, peer, default_config_));
+  RdmaConnection* raw = conn.get();
+  connections_.push_back(std::move(conn));
+  by_id_.emplace(id, raw);
+  return *raw;
+}
+
+void RdmaEngine::post_recv(std::uint64_t conn_id, RecvHandler on_recv) {
+  RecvQueue& q = recv_queues_[conn_id];
+  if (!q.unexpected.empty()) {
+    const RxMessage rx = q.unexpected.front();
+    q.unexpected.pop_front();
+    if (on_recv) on_recv(rx);
+    return;
+  }
+  q.posted.push_back(std::move(on_recv));
+}
+
+std::size_t RdmaEngine::pending_recvs(std::uint64_t conn_id) const {
+  auto it = recv_queues_.find(conn_id);
+  return it == recv_queues_.end() ? 0 : it->second.posted.size();
+}
+
+void RdmaEngine::on_packet(NetPacket&& p) {
+  if (p.is_ack) {
+    auto it = by_id_.find(p.conn_id);
+    if (it != by_id_.end()) it->second->handle_ack(p);
+    return;
+  }
+  handle_data(std::move(p));
+}
+
+void RdmaEngine::handle_data(NetPacket&& p) {
+  RxState& state = rx_[p.conn_id];
+
+  const bool fresh = state.record(p.psn);
+  if (!fresh) {
+    ++rx_duplicates_;
+    send_ack(p);  // the earlier ACK may have been lost; re-ack
+    return;
+  }
+  if (state.any && p.psn < state.highest_psn) {
+    // Direct Packet Placement: the packet is placed at msg_offset without
+    // buffering; we only count it as out-of-order for telemetry.
+    ++rx_out_of_order_;
+  }
+  state.highest_psn = std::max(state.highest_psn, p.psn);
+  state.any = true;
+  ++rx_path_histogram_[p.path_id];
+
+  if (p.kind == PacketKind::kReadRequest) {
+    send_ack(p);
+    serve_read_request(p);
+    return;
+  }
+
+  rx_goodput_bytes_ += p.payload;
+  RxMessageState& msg = state.messages[p.msg_id];
+  msg.received += p.payload;
+  const bool complete = msg.received >= p.msg_bytes;
+
+  send_ack(p);
+
+  if (complete) {
+    state.messages.erase(p.msg_id);
+    deliver_message(
+        RxMessage{p.conn_id, p.msg_id, p.msg_bytes, p.msg_tag, p.src, p.kind});
+  }
+}
+
+void RdmaEngine::deliver_message(const RxMessage& rx) {
+  // READ response landing back at the requester?
+  if ((rx.conn_id & kReverseFlag) != 0) {
+    auto pending = pending_reads_.find(rx.tag);
+    if (pending != pending_reads_.end()) {
+      auto cb = std::move(pending->second.on_data);
+      pending_reads_.erase(pending);
+      if (cb) cb();
+      return;
+    }
+  }
+
+  if (rx.kind == PacketKind::kSend) {
+    RecvQueue& q = recv_queues_[rx.conn_id];
+    if (!q.posted.empty()) {
+      RecvHandler h = std::move(q.posted.front());
+      q.posted.pop_front();
+      if (h) h(rx);
+    } else {
+      ++unexpected_sends_;
+      q.unexpected.push_back(rx);
+    }
+    return;
+  }
+
+  auto it = conn_handlers_.find(rx.conn_id);
+  if (it != conn_handlers_.end()) {
+    it->second(rx);
+  } else if (message_handler_) {
+    message_handler_(rx);
+  }
+}
+
+void RdmaEngine::serve_read_request(const NetPacket& p) {
+  // Respond with a WRITE-like stream on the reverse connection; the tag
+  // routes the data back to the requester's pending read.
+  RdmaConnection& reverse = reverse_connection(p.conn_id, p.src);
+  reverse.post_write(p.msg_bytes, {}, p.msg_tag);
+}
+
+void RdmaEngine::send_ack(const NetPacket& data) {
+  NetPacket ack;
+  ack.conn_id = data.conn_id;
+  ack.is_ack = true;
+  ack.ack_psn = data.psn;
+  ack.ecn_echo = data.ecn_marked;
+  ack.payload = 0;
+  ack.header = 64;
+  ack.src = self_;
+  ack.dst = data.src;
+  ack.path_id = data.path_id;  // reverse traffic reuses the path index
+  Status s = fabric_->send(std::move(ack));
+  assert(s.is_ok());
+  (void)s;
+}
+
+}  // namespace stellar

@@ -1,0 +1,336 @@
+// Stellar's multipath RDMA transport (§7).
+//
+// Sender: packetizes posted verbs (WRITE / SEND / READ) into MTU-sized
+// packets, sprays each packet on a selector-chosen path, and paces with a
+// window-based congestion-control context — by default a single context
+// shared across all paths (§9); per-path windows are available for the
+// ablation of that design choice. Loss recovery is purely RTO-based
+// (250 us default): timed-out packets are retransmitted on a *different*
+// path, and repeatedly failing paths are blacklisted (failure mitigation).
+//
+// Receiver: Direct Packet Placement — out-of-order packets are placed as
+// they arrive (no reorder buffer), deduplicated by PSN against a
+// compacting floor, and each packet is acknowledged individually with the
+// ECN mark echoed. SENDs consume posted receive WRs; READ responses flow
+// on an auto-created reverse-direction connection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "net/fabric.h"
+#include "rnic/congestion.h"
+#include "rnic/multipath.h"
+#include "sim/simulator.h"
+
+namespace stellar {
+
+struct TransportConfig {
+  std::uint32_t mtu = 4096;
+  std::uint16_t num_paths = 128;
+  MultipathAlgo algo = MultipathAlgo::kObs;
+  SimTime rto = SimTime::micros(250);
+  CcConfig cc;
+  CcAlgo cc_algo = CcAlgo::kWindowEcnRtt;
+  /// Stack-dependent overheads (Figure 13's VF+VxLAN baseline): extra
+  /// encapsulation bytes on every packet, a fixed per-packet processing
+  /// delay (vSwitch rule walk + encap) before the wire, and a sustained
+  /// throughput ceiling of the encap engine (zero = uncapped).
+  std::uint32_t extra_header_bytes = 0;
+  SimTime per_packet_overhead = SimTime::zero();
+  Bandwidth stack_rate_cap = Bandwidth::bits_per_sec(0);
+  /// A packet retransmitted this many times moves the QP to an error
+  /// state (mirrors the verbs retry counter); keeps a dead peer from
+  /// spinning the RTO forever.
+  std::uint32_t max_retries = 64;
+  /// Failure mitigation (§7.2's third parameter): a path that times out
+  /// this many times consecutively is blacklisted for `blacklist_hold`,
+  /// steering the spray around a dead link without waiting for BGP.
+  /// 0 disables blacklisting.
+  std::uint32_t blacklist_threshold = 3;
+  SimTime blacklist_hold = SimTime::millis(10);
+  /// Per-path congestion control (§9's alternative design): each path gets
+  /// its own window of init_window/num_paths. The paper rejected this
+  /// because the silicon budget then caps the fan-out at ~4 paths; the
+  /// ablation bench exercises exactly that trade.
+  bool per_path_cc = false;
+};
+
+class RdmaEngine;
+
+/// Sender-side connection state. Created via RdmaEngine::connect().
+class RdmaConnection {
+ public:
+  using Completion = std::function<void()>;
+
+  /// Queue an RDMA WRITE of `bytes`. `on_complete` fires when every packet
+  /// of the message has been acknowledged. Returns the message id (unique
+  /// per connection), which the receiver-side handler also observes.
+  /// `tag` is an opaque application label delivered with the receiver-side
+  /// completion (collectives use it as the slice lane).
+  std::uint64_t post_write(std::uint64_t bytes, Completion on_complete = {},
+                           std::uint32_t tag = 0);
+
+  /// Two-sided SEND: like WRITE on the wire, but the receiver matches it
+  /// against a posted receive WR (RdmaEngine::post_recv).
+  std::uint64_t post_send(std::uint64_t bytes, Completion on_complete = {},
+                          std::uint32_t tag = 0);
+
+  /// RDMA READ of `bytes` from the remote peer. `on_data` fires at *this*
+  /// endpoint once the full response has been placed.
+  std::uint64_t post_read(std::uint64_t bytes, Completion on_data = {});
+
+  std::uint64_t id() const { return id_; }
+  EndpointId local() const { return local_; }
+  EndpointId remote() const { return remote_; }
+
+  std::uint64_t inflight_bytes() const { return inflight_bytes_; }
+  std::uint64_t completed_messages() const { return completed_messages_; }
+  std::uint64_t completed_bytes() const { return completed_bytes_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  bool idle() const { return inflight_bytes_ == 0 && unsent_queue_.empty(); }
+  /// True once a packet exhausted its retry budget (QP in error state).
+  bool in_error() const { return error_; }
+  std::size_t blacklisted_paths() const { return blacklist_.size(); }
+
+  /// Window of the shared context, or the sum across per-path contexts.
+  std::uint64_t window() const;
+
+  const CongestionControl& cc() const { return *cc_; }
+  PathSelector& selector() { return *selector_; }
+
+ private:
+  friend class RdmaEngine;
+
+  RdmaConnection(RdmaEngine& engine, std::uint64_t id, EndpointId local,
+                 EndpointId remote, const TransportConfig& config);
+
+  struct Message {
+    std::uint64_t id = 0;
+    std::uint64_t total = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t acked = 0;
+    std::uint32_t tag = 0;
+    PacketKind kind = PacketKind::kWrite;
+    Completion on_complete;
+  };
+
+  struct Outstanding {
+    std::uint32_t bytes = 0;
+    std::uint16_t path = 0;
+    SimTime sent_at;
+    std::uint64_t msg_id = 0;
+    std::uint64_t msg_offset = 0;
+    std::uint64_t msg_total = 0;
+    std::uint32_t msg_tag = 0;
+    PacketKind kind = PacketKind::kWrite;
+    std::uint32_t retries = 0;
+  };
+
+  void send_more();
+  void transmit(std::uint64_t psn, const Outstanding& meta);
+  void handle_ack(const NetPacket& ack);
+  void arm_rto();
+  void on_rto_fire();
+
+  std::uint64_t enqueue_message(std::uint64_t bytes, PacketKind kind,
+                                std::uint32_t tag, Completion on_complete);
+
+  /// Path choice honoring the blacklist.
+  std::uint16_t pick_path();
+  void note_path_timeout(std::uint16_t path);
+  void note_path_ack(std::uint16_t path);
+
+  /// Congestion admission / bookkeeping (shared or per-path).
+  bool admit(std::uint16_t path, std::uint32_t bytes) const;
+  CongestionControl& cc_for(std::uint16_t path);
+
+  RdmaEngine& engine_;
+  TransportConfig config_;
+  std::uint64_t id_;
+  EndpointId local_;
+  EndpointId remote_;
+
+  std::unique_ptr<CongestionControl> cc_;  // shared context (default)
+  std::vector<std::unique_ptr<CongestionControl>> per_path_cc_;  // ablation
+  std::vector<std::uint64_t> per_path_inflight_;
+  std::unique_ptr<PathSelector> selector_;
+
+  std::uint64_t next_psn_ = 0;
+  std::uint64_t next_msg_id_ = 0;
+  std::uint64_t inflight_bytes_ = 0;
+
+  std::deque<std::uint64_t> unsent_queue_;            // msg ids with unsent data
+  std::unordered_map<std::uint64_t, Message> messages_;
+  std::map<std::uint64_t, Outstanding> outstanding_;  // psn -> in-flight meta
+  SimTime stack_next_free_;  // pacing point of the (optional) encap engine
+
+  // Failure mitigation: consecutive timeouts per path and hold-down expiry.
+  std::unordered_map<std::uint16_t, std::uint32_t> path_timeout_streak_;
+  std::unordered_map<std::uint16_t, SimTime> blacklist_;
+
+  EventHandle rto_event_;
+
+  std::uint64_t completed_messages_ = 0;
+  std::uint64_t completed_bytes_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  bool error_ = false;
+};
+
+/// Message observed complete at the receiver (all payload bytes placed).
+struct RxMessage {
+  std::uint64_t conn_id = 0;
+  std::uint64_t msg_id = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t tag = 0;
+  EndpointId src = kInvalidEndpoint;
+  PacketKind kind = PacketKind::kWrite;
+};
+
+/// Per-endpoint transport engine: owns sender connections and all
+/// receiver-side state, and is registered as the endpoint's packet handler.
+class RdmaEngine {
+ public:
+  using MessageHandler = std::function<void(const RxMessage&)>;
+  using RecvHandler = std::function<void(const RxMessage&)>;
+
+  RdmaEngine(Simulator& sim, ClosFabric& fabric, EndpointId self);
+
+  RdmaEngine(const RdmaEngine&) = delete;
+  RdmaEngine& operator=(const RdmaEngine&) = delete;
+
+  /// Open a connection to `remote` (must share rail/plane with `self`).
+  StatusOr<RdmaConnection*> connect(EndpointId remote,
+                                    const TransportConfig& config);
+
+  /// Called whenever a full message lands at this endpoint.
+  void set_message_handler(MessageHandler handler) {
+    message_handler_ = std::move(handler);
+  }
+
+  /// Per-connection receive handler (takes precedence over the global one).
+  /// Collectives register the peer's conn id here to drive their state
+  /// machines off receiver-side completions.
+  void set_conn_message_handler(std::uint64_t conn_id, MessageHandler handler) {
+    conn_handlers_[conn_id] = std::move(handler);
+  }
+
+  /// Post a receive WR for SENDs arriving on `conn_id`. SENDs completing
+  /// with no WR posted are parked and match the next post_recv (eager
+  /// buffering). The handler fires when a SEND is matched.
+  void post_recv(std::uint64_t conn_id, RecvHandler on_recv);
+  std::size_t pending_recvs(std::uint64_t conn_id) const;
+  std::uint64_t unexpected_sends() const { return unexpected_sends_; }
+
+  /// Transport config used for auto-created READ responder connections.
+  void set_default_config(const TransportConfig& config) {
+    default_config_ = config;
+  }
+
+  EndpointId self() const { return self_; }
+  Simulator& simulator() { return *sim_; }
+  ClosFabric& fabric() { return *fabric_; }
+
+  /// Goodput: first-copy payload bytes delivered to this endpoint.
+  std::uint64_t rx_goodput_bytes() const { return rx_goodput_bytes_; }
+  std::uint64_t rx_duplicate_packets() const { return rx_duplicates_; }
+  std::uint64_t rx_out_of_order_packets() const { return rx_out_of_order_; }
+  void reset_rx_stats() {
+    rx_goodput_bytes_ = 0;
+    rx_duplicates_ = 0;
+    rx_out_of_order_ = 0;
+  }
+
+  /// Per-path packet counts observed at this receiver — the path-level
+  /// observability that RNIC-side spraying preserves and switch-side
+  /// adaptive routing destroys (§7.1's monitoring argument).
+  const std::unordered_map<std::uint16_t, std::uint64_t>& rx_path_histogram()
+      const {
+    return rx_path_histogram_;
+  }
+
+  const std::vector<std::unique_ptr<RdmaConnection>>& connections() const {
+    return connections_;
+  }
+
+ private:
+  friend class RdmaConnection;
+
+  // READ responses flow on a reverse connection whose id sets this bit.
+  static constexpr std::uint64_t kReverseFlag = 1ull << 63;
+
+  struct RxMessageState {
+    std::uint64_t received = 0;
+  };
+
+  // PSN tracking with a compacting floor: everything below `psn_floor` has
+  // been received, only the (bounded, ~one window) set above it is stored.
+  struct RxState {
+    std::uint64_t psn_floor = 0;
+    std::unordered_set<std::uint64_t> psns_above_floor;
+    std::unordered_map<std::uint64_t, RxMessageState> messages;
+    std::uint64_t highest_psn = 0;
+    bool any = false;
+
+    /// Returns false (duplicate) or true (fresh, recorded).
+    bool record(std::uint64_t psn) {
+      if (psn < psn_floor) return false;
+      if (!psns_above_floor.insert(psn).second) return false;
+      while (psns_above_floor.erase(psn_floor) != 0) ++psn_floor;
+      return true;
+    }
+  };
+
+  struct RecvQueue {
+    std::deque<RecvHandler> posted;
+    std::deque<RxMessage> unexpected;
+  };
+
+  void on_packet(NetPacket&& p);
+  void handle_data(NetPacket&& p);
+  void send_ack(const NetPacket& data);
+  void deliver_message(const RxMessage& rx);
+  void serve_read_request(const NetPacket& p);
+  RdmaConnection& reverse_connection(std::uint64_t forward_id,
+                                     EndpointId peer);
+
+  Simulator* sim_;
+  ClosFabric* fabric_;
+  EndpointId self_;
+  std::uint64_t next_conn_seq_ = 1;
+  TransportConfig default_config_;
+
+  std::vector<std::unique_ptr<RdmaConnection>> connections_;
+  std::unordered_map<std::uint64_t, RdmaConnection*> by_id_;
+  std::unordered_map<std::uint64_t, RxState> rx_;
+  MessageHandler message_handler_;
+  std::unordered_map<std::uint64_t, MessageHandler> conn_handlers_;
+  std::unordered_map<std::uint64_t, RecvQueue> recv_queues_;
+
+  // Requester-side pending READs: key = reverse conn id, tag = read id.
+  struct PendingRead {
+    RdmaConnection::Completion on_data;
+  };
+  std::unordered_map<std::uint64_t, PendingRead> pending_reads_;
+  std::uint64_t next_read_id_ = 1;
+
+  std::uint64_t rx_goodput_bytes_ = 0;
+  std::uint64_t rx_duplicates_ = 0;
+  std::uint64_t rx_out_of_order_ = 0;
+  std::uint64_t unexpected_sends_ = 0;
+  std::unordered_map<std::uint16_t, std::uint64_t> rx_path_histogram_;
+};
+
+}  // namespace stellar

@@ -1,0 +1,93 @@
+// RNIC vSwitch hardware flow-steering model — the baseline component behind
+// the paper's Problem (5): TCP and RDMA share one ordered rule pipeline, so
+// RDMA lookup latency depends on how many (and where) TCP rules sit in the
+// table, and one tenant's TCP churn perturbs another tenant's RDMA.
+//
+// Stellar's fix is architectural (RDMA never enters this pipeline); the
+// model exists so tests and benches can demonstrate the interference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace stellar {
+
+enum class TrafficClass : std::uint8_t { kTcp, kRdma };
+
+struct SteeringRule {
+  std::uint64_t id = 0;
+  TrafficClass match = TrafficClass::kTcp;
+  std::uint32_t tenant = 0;
+  bool vxlan_encap = false;
+  // The driver fills VxLAN outer MACs from its routing table; a local
+  // forwarding route yields zero MACs — valid for the kernel stack, fatal
+  // for RDMA via the ToR (the cross-RNIC bug in §3.1(5)).
+  std::uint64_t outer_src_mac = 0;
+  std::uint64_t outer_dst_mac = 0;
+};
+
+class VSwitch {
+ public:
+  struct Config {
+    std::size_t capacity = 4096;                 // hardware rule slots
+    SimTime base_latency = SimTime::nanos(100);  // pipeline entry cost
+    SimTime per_rule_latency = SimTime::nanos(4);  // per ordered entry walked
+  };
+
+  VSwitch() : config_(Config{}) {}
+  explicit VSwitch(Config config) : config_(config) {}
+
+  /// Append a rule (hardware tables are priority-ordered; insertion order
+  /// is match order, which is exactly how the production incident arose:
+  /// TCP entries landed ahead of RDMA entries).
+  Status add_rule(SteeringRule rule) {
+    if (rules_.size() >= config_.capacity) {
+      return resource_exhausted("VSwitch: rule table full");
+    }
+    rules_.push_back(rule);
+    return Status::ok();
+  }
+
+  Status remove_rule(std::uint64_t id) {
+    for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+      if (it->id == id) {
+        rules_.erase(it);
+        return Status::ok();
+      }
+    }
+    return not_found("VSwitch: unknown rule");
+  }
+
+  struct LookupResult {
+    const SteeringRule* rule = nullptr;
+    SimTime latency;
+    std::size_t rules_walked = 0;
+  };
+
+  /// First-match lookup; latency grows with the rule's position.
+  StatusOr<LookupResult> lookup(TrafficClass cls, std::uint32_t tenant) const {
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (rules_[i].match == cls && rules_[i].tenant == tenant) {
+        return LookupResult{
+            &rules_[i],
+            config_.base_latency +
+                config_.per_rule_latency * static_cast<std::int64_t>(i + 1),
+            i + 1};
+      }
+    }
+    return not_found("VSwitch: no matching rule");
+  }
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::size_t capacity() const { return config_.capacity; }
+
+ private:
+  Config config_;
+  std::vector<SteeringRule> rules_;
+};
+
+}  // namespace stellar

@@ -1,0 +1,88 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace stellar {
+
+EventHandle Simulator::schedule_at(SimTime at, Action action) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(action)});
+  pending_ids_.insert(id);
+  ++live_events_;
+  return EventHandle{id};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  auto it = pending_ids_.find(handle.id());
+  if (it == pending_ids_.end()) return false;
+  pending_ids_.erase(it);
+  cancelled_.insert(handle.id());
+  --live_events_;
+  return true;
+}
+
+bool Simulator::pop_live(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const&; we must move the action out. The
+    // const_cast is confined here and safe: the element is popped right
+    // after and never re-compared.
+    Event& top = const_cast<Event&>(queue_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    out = std::move(top);
+    queue_.pop();
+    pending_ids_.erase(out.id);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_live(ev)) return false;
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  --live_events_;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  Event ev;
+  while (!queue_.empty()) {
+    if (!pop_live(ev)) break;
+    if (ev.at > deadline) {
+      // Put it back: live event beyond the horizon. Re-push preserving
+      // original seq so ordering stays stable.
+      pending_ids_.insert(ev.id);
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    --live_events_;
+    ++executed_;
+    ++n;
+    ev.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace stellar

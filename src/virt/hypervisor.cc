@@ -1,0 +1,104 @@
+#include "virt/hypervisor.h"
+
+namespace stellar {
+
+StatusOr<Hypervisor::BootReport> Hypervisor::boot_container(
+    RundContainer& container) {
+  if (state_.count(container.id()) != 0) {
+    return already_exists("Hypervisor: container already booted");
+  }
+  auto backing = pcie_->main_memory().allocate(container.memory_bytes(),
+                                               kPage2M);
+  if (!backing.is_ok()) return backing.status();
+
+  auto vm = std::make_unique<VmState>();
+  vm->backing_base = backing.value();
+  vm->backing_len = container.memory_bytes();
+  Status s = vm->ept.map(Gpa{0}, vm->backing_base, vm->backing_len);
+  if (!s.is_ok()) {
+    (void)pcie_->main_memory().release(backing.value());
+    return s;
+  }
+  vm->pvdma = std::make_unique<Pvdma>(pcie_->iommu(), vm->ept);
+
+  BootReport report;
+  const double gib =
+      static_cast<double>(container.memory_bytes()) / (1024.0 * 1024 * 1024);
+  report.hypervisor_time =
+      config_.microvm_base_boot +
+      SimTime::picos(static_cast<std::int64_t>(
+          gib * static_cast<double>(config_.per_gib_overhead.ps())));
+
+  if (!config_.use_pvdma) {
+    // VFIO-era behaviour: every guest page is IOMMU-mapped and pinned up
+    // front, because any of it may become an RDMA buffer or BAR target.
+    report.pin_time = pcie_->iommu().pin_cost(container.memory_bytes());
+    Status pin = pcie_->iommu().map(IoVa{0}, vm->backing_base,
+                                    vm->backing_len);
+    if (!pin.is_ok()) {
+      (void)pcie_->main_memory().release(backing.value());
+      return pin;
+    }
+    pcie_->iommu().note_pinned(vm->backing_len);
+  }
+
+  report.total = report.hypervisor_time + report.pin_time;
+  state_.emplace(container.id(), std::move(vm));
+  container.set_booted(true);
+  return report;
+}
+
+Status Hypervisor::shutdown_container(RundContainer& container) {
+  auto it = state_.find(container.id());
+  if (it == state_.end()) return not_found("Hypervisor: container not booted");
+  VmState& vm = *it->second;
+  if (!config_.use_pvdma) {
+    pcie_->iommu().unmap_range(IoVa{0}, vm.backing_len);
+    pcie_->iommu().note_unpinned(vm.backing_len);
+  }
+  (void)pcie_->main_memory().release(vm.backing_base);
+  state_.erase(it);
+  container.set_booted(false);
+  return Status::ok();
+}
+
+StatusOr<Hypervisor::VdbMapping> Hypervisor::map_vdb(RundContainer& container,
+                                                     Hpa doorbell_hpa) {
+  auto it = state_.find(container.id());
+  if (it == state_.end()) return not_found("Hypervisor: container not booted");
+  VmState& vm = *it->second;
+
+  VdbMapping mapping;
+  if (config_.vdb_in_shm) {
+    auto shm = vm.shm.map(doorbell_hpa, kPage4K);
+    if (!shm.is_ok()) return shm.status();
+    mapping.in_shm = true;
+    mapping.shm = shm.value();
+    return mapping;
+  }
+
+  // Pre-fix layout: carve a 4 KiB hole out of guest RAM and EPT-map it to
+  // the doorbell register. This is what can later be swallowed by a 2 MiB
+  // PVDMA block (Figure 5, step 3).
+  auto gpa = container.alloc(kPage4K, kPage4K);
+  if (!gpa.is_ok()) return gpa.status();
+  Status s = vm.ept.map_register_hole(gpa.value(), doorbell_hpa, kPage4K);
+  if (!s.is_ok()) return s;
+  mapping.in_shm = false;
+  mapping.gpa = gpa.value();
+  return mapping;
+}
+
+Status Hypervisor::unmap_vdb(RundContainer& container,
+                             const VdbMapping& mapping) {
+  auto it = state_.find(container.id());
+  if (it == state_.end()) return not_found("Hypervisor: container not booted");
+  VmState& vm = *it->second;
+  if (mapping.in_shm) return vm.shm.unmap(mapping.shm);
+  // Figure 5 step 4: the register mapping is torn down and the GPA goes
+  // back to plain RAM, free for the guest OS to reuse.
+  return vm.ept.restore_ram(mapping.gpa,
+                            vm.backing_base + mapping.gpa.value(), kPage4K);
+}
+
+}  // namespace stellar

@@ -1,0 +1,82 @@
+// Hypervisor model: boots RunD containers, owns per-container EPT and
+// PVDMA state, and maps virtual doorbells either into guest RAM (the
+// pre-fix layout that can collide with PVDMA blocks) or into the virtio
+// shm I/O space (the production fix).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "memory/ept.h"
+#include "pcie/host_pcie.h"
+#include "virt/container.h"
+#include "virt/pvdma.h"
+#include "virt/virtio.h"
+
+namespace stellar {
+
+struct HypervisorConfig {
+  bool use_pvdma = true;
+  bool vdb_in_shm = true;   // Figure-5 fix: doorbells live in shm I/O space
+  SimTime microvm_base_boot = SimTime::seconds(8.0);
+  /// Per-GiB hypervisor overhead independent of pinning (page-table setup,
+  /// balloon negotiation, ...): the +11 s between 160 GB and 1.6 TB pods.
+  SimTime per_gib_overhead = SimTime::millis(8);
+};
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(HostPcie& pcie, HypervisorConfig config = {})
+      : pcie_(&pcie), config_(config) {}
+
+  struct BootReport {
+    SimTime total;
+    SimTime pin_time;         // zero under PVDMA
+    SimTime hypervisor_time;  // base + per-GiB overhead
+  };
+
+  /// Allocate backing memory, build the EPT, and (without PVDMA) pin the
+  /// whole guest in the IOMMU — the Figure-6 cost model.
+  StatusOr<BootReport> boot_container(RundContainer& container);
+
+  Status shutdown_container(RundContainer& container);
+
+  // -- Per-container state ------------------------------------------------------
+
+  Ept& ept(VmId vm) { return state_.at(vm)->ept; }
+  Pvdma& pvdma(VmId vm) { return *state_.at(vm)->pvdma; }
+  ShmRegion& shm(VmId vm) { return state_.at(vm)->shm; }
+  VirtioControlPath& control_path(VmId vm) { return state_.at(vm)->control; }
+
+  /// Map a device doorbell page for the guest. Returns the guest-visible
+  /// address: a GPA (RAM hole) without the shm fix, a ShmAddr with it.
+  struct VdbMapping {
+    bool in_shm = false;
+    Gpa gpa;        // valid when !in_shm
+    ShmAddr shm;    // valid when in_shm
+  };
+  StatusOr<VdbMapping> map_vdb(RundContainer& container, Hpa doorbell_hpa);
+  Status unmap_vdb(RundContainer& container, const VdbMapping& mapping);
+
+  const HypervisorConfig& config() const { return config_; }
+
+ private:
+  struct VmState {
+    Ept ept;
+    std::unique_ptr<Pvdma> pvdma;
+    ShmRegion shm;
+    VirtioControlPath control;
+    Hpa backing_base;
+    std::uint64_t backing_len = 0;
+  };
+
+  HostPcie* pcie_;
+  HypervisorConfig config_;
+  std::unordered_map<VmId, std::unique_ptr<VmState>> state_;
+};
+
+}  // namespace stellar

@@ -1,0 +1,124 @@
+#include "virt/pvdma.h"
+
+namespace stellar {
+
+namespace {
+// The MMIO window of pcie/host_pcie.cc: any HPA at or above this belongs to
+// a device BAR, not DRAM. Used to classify stale-mapping destinations.
+constexpr std::uint64_t kBarWindowBase = 1ull << 46;
+}  // namespace
+
+StatusOr<Pvdma::MapResult> Pvdma::prepare_dma(Gpa gpa, std::uint64_t len) {
+  if (len == 0) return invalid_argument("Pvdma::prepare_dma: zero length");
+  MapResult out;
+  out.cache_hit = true;
+
+  const std::uint64_t bs = config_.block_size;
+  const Gpa first = gpa.align_down(bs);
+  const Gpa last = (gpa + (len - 1)).align_down(bs);
+  for (Gpa block = first; block <= last; block = block + bs) {
+    out.cost += config_.map_cache_lookup;
+    if (cache_.lookup(block)) {
+      cache_.add_user(block);
+      continue;
+    }
+    out.cache_hit = false;
+    Status s = register_block(block);
+    if (!s.is_ok()) return s;
+    cache_.insert(block);
+    ++blocks_registered_;
+    out.cost += iommu_->pin_cost(bs);
+    iommu_->note_pinned(bs);
+    pinned_bytes_ += bs;
+    out.pinned_bytes += bs;
+  }
+  return out;
+}
+
+void Pvdma::release_dma(Gpa gpa, std::uint64_t len) {
+  if (len == 0) return;
+  const std::uint64_t bs = config_.block_size;
+  const Gpa first = gpa.align_down(bs);
+  const Gpa last = (gpa + (len - 1)).align_down(bs);
+  for (Gpa block = first; block <= last; block = block + bs) {
+    if (!cache_.contains(block)) continue;
+    if (cache_.release_user(block)) {
+      unregister_block(block);
+      cache_.erase(block);
+      iommu_->note_unpinned(bs);
+      pinned_bytes_ -= bs < pinned_bytes_ ? bs : pinned_bytes_;
+    }
+    // else: other users keep the block alive — including any stale device-
+    // register sub-mappings it may contain (Figure 5d).
+  }
+}
+
+Status Pvdma::register_block(Gpa block_start) {
+  const std::uint64_t bs = config_.block_size;
+  const std::uint64_t pages = bs / kPage4K;
+
+  // Walk the block's 4 KiB pages through the EPT and coalesce contiguous
+  // HPA runs into IOMMU ranges. Unmapped guest pages are simply skipped
+  // (they fault if the device ever touches them).
+  std::uint64_t run_start_gpa = 0;
+  std::uint64_t run_start_hpa = 0;
+  std::uint64_t run_len = 0;
+
+  auto flush_run = [&]() -> Status {
+    if (run_len == 0) return Status::ok();
+    Status s = iommu_->map(IoVa{run_start_gpa}, Hpa{run_start_hpa}, run_len);
+    run_len = 0;
+    return s;
+  };
+
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const Gpa page = block_start + i * kPage4K;
+    auto hpa = ept_->translate(page);
+    if (!hpa.is_ok()) {
+      Status s = flush_run();
+      if (!s.is_ok()) return s;
+      continue;
+    }
+    if (run_len > 0 && run_start_hpa + run_len == hpa.value().value() ) {
+      run_len += kPage4K;
+      continue;
+    }
+    Status s = flush_run();
+    if (!s.is_ok()) return s;
+    run_start_gpa = page.value();
+    run_start_hpa = hpa.value().value();
+    run_len = kPage4K;
+  }
+  return flush_run();
+}
+
+void Pvdma::unregister_block(Gpa block_start) {
+  iommu_->unmap_range(IoVa{block_start.value()}, config_.block_size);
+}
+
+Pvdma::DeviceAccess Pvdma::translate_for_device(Gpa gpa) {
+  DeviceAccess out;
+  auto tr = iommu_->translate(IoVa{gpa.value()});
+  if (!tr.is_ok()) {
+    out.kind = AccessKind::kFault;
+    return out;
+  }
+  out.hpa = tr.value().hpa;
+
+  // Cross-check against the EPT's *current* view. A divergence means the
+  // IOMMU holds a stale mapping — the Figure-5 bug. In the production
+  // incident the stale target was the RNIC doorbell register.
+  auto current = ept_->translate(gpa);
+  const bool stale = !current.is_ok() || current.value() != out.hpa;
+  if (stale) {
+    ++stale_accesses_;
+    out.kind = AccessKind::kStaleDeviceMapping;
+    (void)kBarWindowBase;  // classification detail: stale targets are
+                           // usually BAR space, but any divergence is fatal
+    return out;
+  }
+  out.kind = AccessKind::kRam;
+  return out;
+}
+
+}  // namespace stellar

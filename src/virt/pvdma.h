@@ -1,0 +1,83 @@
+// PVDMA: Para-Virtualized Direct Memory Access (§5).
+//
+// Instead of pinning all guest memory at boot, the hypervisor intercepts
+// the first DMA touching each 2 MiB guest-physical block, registers the
+// block's GPA->HPA mapping in the IOMMU (resolved page-by-page through the
+// EPT) and pins it. A Map Cache makes repeat accesses free.
+//
+// The model faithfully includes the Figure-5 hazard: a 2 MiB block may
+// cover a 4 KiB EPT *device-register* mapping (the vDB). The block then
+// carries a device-register translation into the IOMMU; when the register
+// mapping is later torn down while the block stays referenced, the stale
+// entry persists, and a guest reusing that GPA for DMA-able memory will be
+// routed into the device's BAR. translate_for_device() reports exactly this
+// as a kStaleDeviceMapping access, which the conflict test/example assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "memory/address.h"
+#include "memory/ept.h"
+#include "memory/iommu.h"
+#include "memory/map_cache.h"
+
+namespace stellar {
+
+struct PvdmaConfig {
+  std::uint64_t block_size = kPage2M;
+  SimTime map_cache_lookup = SimTime::nanos(80);
+};
+
+class Pvdma {
+ public:
+  Pvdma(Iommu& iommu, Ept& ept, PvdmaConfig config = {})
+      : iommu_(&iommu), ept_(&ept), config_(config),
+        cache_(config.block_size) {}
+
+  struct MapResult {
+    SimTime cost;          // map-cache lookup + (on miss) register + pin
+    bool cache_hit = false;
+    std::uint64_t pinned_bytes = 0;
+  };
+
+  /// A guest device driver is about to DMA into [gpa, gpa+len): make sure
+  /// every covering block is registered and pinned (Figure 4 stages 1-2).
+  StatusOr<MapResult> prepare_dma(Gpa gpa, std::uint64_t len);
+
+  /// The consumer (e.g. the GPU) is done with [gpa, gpa+len); blocks whose
+  /// user count drops to zero are unmapped and unpinned.
+  void release_dma(Gpa gpa, std::uint64_t len);
+
+  /// Device-side translation of a DMA request, as the IOMMU would perform
+  /// it. Detects the Figure-5 failure mode.
+  enum class AccessKind { kRam, kStaleDeviceMapping, kFault };
+  struct DeviceAccess {
+    AccessKind kind = AccessKind::kFault;
+    Hpa hpa;
+  };
+  DeviceAccess translate_for_device(Gpa gpa);
+
+  const MapCache& map_cache() const { return cache_; }
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::uint64_t blocks_registered() const { return blocks_registered_; }
+  std::uint64_t stale_accesses() const { return stale_accesses_; }
+
+ private:
+  /// Register one block in the IOMMU by walking the EPT 4 KiB pages and
+  /// coalescing contiguous HPA runs.
+  Status register_block(Gpa block_start);
+  void unregister_block(Gpa block_start);
+
+  Iommu* iommu_;
+  Ept* ept_;
+  PvdmaConfig config_;
+  MapCache cache_;
+  std::uint64_t pinned_bytes_ = 0;
+  std::uint64_t blocks_registered_ = 0;
+  std::uint64_t stale_accesses_ = 0;
+};
+
+}  // namespace stellar

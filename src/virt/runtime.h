@@ -1,0 +1,54 @@
+// Side-by-side startup/cost models for the virtualization generations the
+// paper compares. Composes the primitive costs owned by Rnic, Iommu and
+// Hypervisor into one per-mode startup breakdown (Figure 6 and the §4
+// provisioning claims).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "rnic/device.h"
+#include "rnic/gdr.h"
+#include "virt/hypervisor.h"
+
+namespace stellar {
+
+enum class VirtMode {
+  kSriovVfio,  // current production baseline: SR-IOV VF + VFIO + pin-all
+  kHyvMasq,    // paravirt control path, but pin-all and RC-routed GDR
+  kVStellar,   // Stellar: PVDMA + eMTT + SF-style virtual devices
+  kBareMetal,  // no virtualization (reference)
+};
+
+const char* virt_mode_name(VirtMode mode);
+
+/// Which GDR data path a virtualization mode ends up on.
+inline GdrMode gdr_mode_for(VirtMode mode) {
+  switch (mode) {
+    case VirtMode::kSriovVfio:
+      return GdrMode::kAtsAtc;
+    case VirtMode::kHyvMasq:
+      return GdrMode::kRcRouted;
+    case VirtMode::kVStellar:
+    case VirtMode::kBareMetal:
+      return GdrMode::kEmtt;
+  }
+  return GdrMode::kEmtt;
+}
+
+struct StartupBreakdown {
+  SimTime device_provision;  // VF reset+create vs vStellar device create
+  SimTime memory_pin;        // pin-all cost; zero under PVDMA
+  SimTime hypervisor;        // MicroVM base + per-GiB overhead
+  SimTime total() const { return device_provision + memory_pin + hypervisor; }
+};
+
+/// Startup cost of one container of `memory_bytes` under `mode`, given the
+/// RNIC's provisioning constants and the IOMMU pin model.
+StartupBreakdown container_startup_cost(VirtMode mode,
+                                        std::uint64_t memory_bytes,
+                                        const RnicConfig& rnic,
+                                        const IommuConfig& iommu,
+                                        const HypervisorConfig& hyp);
+
+}  // namespace stellar

@@ -1,0 +1,74 @@
+#include "workload/models.h"
+
+namespace stellar {
+
+TrainJob table1_llama33b() {
+  TrainJob job;
+  job.model = {"Llama-33B", 32.5, 60, 6656, 2048, 0, 2.0};
+  job.parallel = {2, 3, 148, 1, 1, 58, 8584};
+  return job;
+}
+
+TrainJob table1_gpt200b() {
+  TrainJob job;
+  job.model = {"GPT-200B", 200.0, 96, 12288, 2048, 0, 2.0};
+  job.parallel = {4, 12, 34, 1, 1, 117, 3978};
+  return job;
+}
+
+TrainJob table1_llama2b_zero1() {
+  TrainJob job;
+  job.model = {"Llama-2B", 2.0, 24, 2560, 2048, 0, 2.0};
+  job.parallel = {1, 1, 16, 1, 1, 2, 32};
+  return job;
+}
+
+TrainJob table1_llama13b_zero3() {
+  TrainJob job;
+  job.model = {"Llama-13B", 13.0, 40, 5120, 2048, 0, 2.0};
+  job.parallel = {1, 1, 440, 1, 1, 1, 440};
+  // ZeRO-3: three ring collectives per step (1.5x the all-reduce volume),
+  // but DeepSpeed's prefetch overlaps ~85% of the gather traffic.
+  job.dp_volume_multiplier = 1.5;
+  job.dp_exposed_fraction = 0.15;
+  return job;
+}
+
+std::vector<TrainJob> table1_jobs() {
+  return {table1_llama33b(), table1_gpt200b(), table1_llama2b_zero1(),
+          table1_llama13b_zero3()};
+}
+
+std::vector<TrainJob> figure16_jobs() {
+  // Four 1,024-GPU-class placements varying which parallel dimension
+  // stresses the scale-out network. Shapes chosen so TP*PP*DP = 1024.
+  std::vector<TrainJob> jobs;
+
+  {  // TP-heavy dense model
+    TrainJob j;
+    j.model = {"Dense-70B", 70.0, 80, 8192, 4096, 0, 2.0};
+    j.parallel = {8, 4, 32, 1, 1, 32, 1024};
+    jobs.push_back(j);
+  }
+  {  // PP-heavy very deep model
+    TrainJob j;
+    j.model = {"Dense-180B", 180.0, 96, 12288, 4096, 0, 2.0};
+    j.parallel = {8, 16, 8, 1, 1, 64, 512};
+    jobs.push_back(j);
+  }
+  {  // DP-heavy medium model (gradient all-reduce dominates)
+    TrainJob j;
+    j.model = {"Dense-13B", 13.0, 40, 5120, 4096, 0, 2.0};
+    j.parallel = {2, 1, 512, 1, 1, 4, 2048};
+    jobs.push_back(j);
+  }
+  {  // MoE with expert parallelism
+    TrainJob j;
+    j.model = {"MoE-8x22B", 141.0, 56, 6144, 4096, 28, 2.0};
+    j.parallel = {4, 4, 64, 8, 1, 16, 1024};
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+}  // namespace stellar

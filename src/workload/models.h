@@ -1,0 +1,29 @@
+// The concrete training jobs of Table 1 and the Figure-16 parallel
+// configurations, with model shapes matching the public architectures.
+#pragma once
+
+#include <vector>
+
+#include "workload/llm.h"
+
+namespace stellar {
+
+/// Megatron Llama-33B — Table 1 row 1: TP2 PP3 DP148, mb 1, ga 58, gb 8584.
+TrainJob table1_llama33b();
+
+/// Megatron GPT-200B — Table 1 row 2: TP4 PP12 DP34, mb 1, ga 117, gb 3978.
+TrainJob table1_gpt200b();
+
+/// DeepSpeed ZeRO-1 Llama-2B — Table 1 row 3: DP16, mb 1, ga 2, gb 32.
+TrainJob table1_llama2b_zero1();
+
+/// DeepSpeed ZeRO-3 Llama-13B — Table 1 row 4: DP440, mb 1, ga 1, gb 440.
+TrainJob table1_llama13b_zero3();
+
+std::vector<TrainJob> table1_jobs();
+
+/// The four (TP, PP, DP, EP) cluster-scheduling configurations on the
+/// Figure-16 x-axis, instantiated on a 1,024-GPU-class job.
+std::vector<TrainJob> figure16_jobs();
+
+}  // namespace stellar

@@ -1,0 +1,99 @@
+// Property tests for the address/unit arithmetic everything else builds
+// on: alignment identities, page-cover counting, and exact bandwidth math.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "memory/address.h"
+
+namespace stellar {
+namespace {
+
+TEST(AddressPropertyTest, AlignmentIdentities) {
+  Rng rng(42);
+  for (int i = 0; i < 20'000; ++i) {
+    const Hpa a{rng.next() >> 8};  // keep headroom for align_up
+    for (const std::uint64_t page : {kPage4K, kPage2M}) {
+      const Hpa down = a.align_down(page);
+      const Hpa up = a.align_up(page);
+      ASSERT_TRUE(down.is_aligned(page));
+      ASSERT_TRUE(up.is_aligned(page));
+      ASSERT_LE(down, a);
+      ASSERT_GE(up, a);
+      ASSERT_LT(a - down, page);
+      ASSERT_EQ(a.page_offset(page), a.value() % page);
+      if (a.is_aligned(page)) {
+        ASSERT_EQ(down, a);
+        ASSERT_EQ(up, a);
+      } else {
+        ASSERT_EQ(up - down, page);
+      }
+    }
+  }
+}
+
+TEST(AddressPropertyTest, PagesCoveringMatchesBruteForce) {
+  Rng rng(7);
+  for (int i = 0; i < 5'000; ++i) {
+    const Gva base{rng.below(1 << 22)};
+    const std::uint64_t len = rng.below(1 << 18);
+    const std::uint64_t fast = pages_covering(base, len, kPage4K);
+    if (len == 0) {
+      ASSERT_EQ(fast, 0u);
+      continue;
+    }
+    const std::uint64_t first = base.value() / kPage4K;
+    const std::uint64_t last = (base.value() + len - 1) / kPage4K;
+    ASSERT_EQ(fast, last - first + 1);
+  }
+}
+
+TEST(AddressPropertyTest, StrongTypesHashDistinctly) {
+  std::hash<Gpa> h;
+  EXPECT_NE(h(Gpa{1}), h(Gpa{2}));
+  EXPECT_EQ(h(Gpa{42}), h(Gpa{42}));
+}
+
+TEST(UnitsPropertyTest, TransmitTimeMatchesReferenceMath) {
+  Rng rng(99);
+  const Bandwidth rates[] = {Bandwidth::gbps(100), Bandwidth::gbps(200),
+                             Bandwidth::gbps(400), Bandwidth::gbps(25)};
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t bytes = rng.below(1ull << 32);
+    const Bandwidth bw = rates[rng.below(4)];
+    const SimTime t = bw.transmit_time(bytes);
+    const double expect_ps = static_cast<double>(bytes) * 8e12 /
+                             static_cast<double>(bw.bps());
+    // Integer math truncates; must be within 1 ps of the real value.
+    ASSERT_LE(static_cast<double>(t.ps()), expect_ps + 1e-3);
+    ASSERT_GT(static_cast<double>(t.ps()), expect_ps - 1.0);
+  }
+}
+
+TEST(UnitsPropertyTest, TransmitTimeIsAdditive) {
+  const Bandwidth bw = Bandwidth::gbps(200);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t a = rng.below(1 << 20);
+    const std::uint64_t b = rng.below(1 << 20);
+    // Truncation makes split transmissions at most 1 ps shorter.
+    const std::int64_t whole = bw.transmit_time(a + b).ps();
+    const std::int64_t split =
+        bw.transmit_time(a).ps() + bw.transmit_time(b).ps();
+    ASSERT_LE(split, whole);
+    ASSERT_LE(whole - split, 1);
+  }
+}
+
+TEST(UnitsPropertyTest, SimTimeOrderingConsistentWithArithmetic) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto a = SimTime::picos(static_cast<std::int64_t>(rng.below(1ull << 50)));
+    const auto b = SimTime::picos(static_cast<std::int64_t>(rng.below(1ull << 50)));
+    ASSERT_EQ(a < b, (b - a).ps() > 0);
+    ASSERT_EQ(a + b - b, a);
+  }
+}
+
+}  // namespace
+}  // namespace stellar

@@ -1,0 +1,73 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "collective/allreduce.h"
+
+namespace stellar {
+namespace {
+
+TEST(StellarClusterTest, DefaultsAreStellarProduction) {
+  StellarCluster cluster;
+  EXPECT_EQ(cluster.config().transport.num_paths, 128);
+  EXPECT_EQ(cluster.config().transport.algo, MultipathAlgo::kObs);
+  EXPECT_EQ(cluster.config().transport.rto, SimTime::micros(250));
+}
+
+TEST(StellarClusterTest, ConnectAndTransfer) {
+  ClusterConfig cfg;
+  cfg.fabric.segments = 2;
+  cfg.fabric.hosts_per_segment = 2;
+  StellarCluster cluster(cfg);
+  auto conn = cluster.connect(cluster.endpoint(0, 0), cluster.endpoint(1, 0));
+  ASSERT_TRUE(conn.is_ok());
+  bool done = false;
+  conn.value()->post_write(4_MiB, [&] { done = true; });
+  cluster.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cluster.fabric().dropped_no_handler(), 0u);
+}
+
+TEST(StellarClusterTest, CustomTransportPerConnection) {
+  ClusterConfig cfg;
+  cfg.fabric.segments = 2;
+  cfg.fabric.hosts_per_segment = 2;
+  StellarCluster cluster(cfg);
+  TransportConfig t;
+  t.algo = MultipathAlgo::kSinglePath;
+  t.num_paths = 4;
+  auto conn = cluster.connect(cluster.endpoint(0, 0), cluster.endpoint(1, 0), t);
+  ASSERT_TRUE(conn.is_ok());
+  EXPECT_EQ(conn.value()->selector().num_paths(), 4);
+}
+
+TEST(StellarClusterTest, RunForAdvancesBoundedTime) {
+  StellarCluster cluster;
+  cluster.run_for(SimTime::millis(3));
+  EXPECT_EQ(cluster.simulator().now(), SimTime::millis(3));
+  cluster.run_for(SimTime::millis(2));
+  EXPECT_EQ(cluster.simulator().now(), SimTime::millis(5));
+}
+
+TEST(StellarClusterTest, HostsCollective) {
+  ClusterConfig cfg;
+  cfg.fabric.segments = 2;
+  cfg.fabric.hosts_per_segment = 4;
+  StellarCluster cluster(cfg);
+  std::vector<EndpointId> ranks;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ranks.push_back(cluster.endpoint(i % 2, i / 2));
+  }
+  AllReduceConfig ar_cfg;
+  ar_cfg.data_bytes = 4_MiB;
+  ar_cfg.transport = cluster.config().transport;
+  RingAllReduce ar(cluster.fleet(), ranks, ar_cfg);
+  bool done = false;
+  ar.start([&] { done = true; });
+  cluster.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(ar.bus_bandwidth_gbps(), 10.0);
+}
+
+}  // namespace
+}  // namespace stellar

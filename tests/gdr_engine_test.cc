@@ -1,0 +1,102 @@
+#include "rnic/gdr.h"
+
+#include <gtest/gtest.h>
+
+#include "pcie/atc.h"
+
+namespace stellar {
+namespace {
+
+class GdrEngineTest : public ::testing::Test {
+ protected:
+  GdrEngineTest() : pcie_(make_config()) {
+    sw_ = pcie_.add_switch("sw0");
+    auto bar = pcie_.attach_device(rnic_, sw_, 4096);
+    EXPECT_TRUE(bar.is_ok());
+    auto gbar = pcie_.attach_device(gpu_, sw_, 1_GiB);
+    EXPECT_TRUE(gbar.is_ok());
+    gpu_bar_ = gbar.value();
+    EXPECT_TRUE(pcie_.enable_p2p(rnic_).is_ok());
+    EXPECT_TRUE(pcie_.enable_p2p(gpu_).is_ok());
+    // IOMMU window for untranslated GDR (device VA -> GPU BAR).
+    EXPECT_TRUE(pcie_.iommu().map(window_, gpu_bar_.base, 512_MiB).is_ok());
+  }
+
+  static HostPcieConfig make_config() {
+    HostPcieConfig cfg;
+    cfg.main_memory_bytes = 16_GiB;
+    cfg.rc_p2p_bandwidth = Bandwidth::gbps(145);
+    return cfg;
+  }
+
+  GdrEngineConfig engine_config(double gbps) const {
+    GdrEngineConfig cfg;
+    cfg.nic_rate = Bandwidth::gbps(gbps);
+    cfg.requester = rnic_;
+    return cfg;
+  }
+
+  HostPcie pcie_;
+  std::size_t sw_ = 0;
+  const Bdf rnic_{0x10, 0, 0};
+  const Bdf gpu_{0x18, 1, 0};
+  Bar gpu_bar_;
+  const IoVa window_{1ull << 40};
+};
+
+TEST_F(GdrEngineTest, EmttRunsAtLineRate) {
+  GdrEngine engine(pcie_, engine_config(400), GdrMode::kEmtt, nullptr);
+  const GdrTransfer t = engine.transfer(IoVa{gpu_bar_.base.value()}, 64_MiB);
+  EXPECT_NEAR(t.gbps, 393.7, 2.0);
+  EXPECT_EQ(t.atc_misses, 0u);
+  EXPECT_EQ(t.iotlb_misses, 0u);
+  EXPECT_GT(pcie_.direct_p2p_tlps(), 0u);
+}
+
+TEST_F(GdrEngineTest, RcRoutedCappedByRootComplex) {
+  GdrEngine engine(pcie_, engine_config(400), GdrMode::kRcRouted, nullptr);
+  const GdrTransfer t = engine.transfer(window_, 64_MiB);
+  EXPECT_LT(t.gbps, 150.0);
+  EXPECT_GT(t.gbps, 130.0);
+}
+
+TEST_F(GdrEngineTest, EmttWithoutLutFallsBackToRcPath) {
+  pcie_.disable_p2p(rnic_);  // ACS now redirects upstream
+  GdrEngine engine(pcie_, engine_config(400), GdrMode::kEmtt, nullptr);
+  const GdrTransfer t = engine.transfer(IoVa{gpu_bar_.base.value()}, 16_MiB);
+  EXPECT_LT(t.gbps, 150.0);
+  EXPECT_GT(pcie_.rc_detour_tlps(), 0u);
+}
+
+TEST_F(GdrEngineTest, AtcModeDroopsWhenWorkingSetExceedsCapacity) {
+  Atc atc(pcie_, rnic_, /*capacity_pages=*/1024);  // covers 4 MiB
+  GdrEngine engine(pcie_, engine_config(200), GdrMode::kAtsAtc, &atc);
+
+  // Warm phase: working set of 2 MiB fits; second pass is all hits.
+  (void)engine.transfer(window_, 2_MiB);
+  const GdrTransfer fit = engine.transfer(window_, 2_MiB);
+  EXPECT_EQ(fit.atc_misses, 0u);
+
+  // Thrash phase: 16 MiB >> 4 MiB capacity; sequential LRU sweep misses on
+  // (almost) every page and throughput droops.
+  (void)engine.transfer(window_, 16_MiB);
+  const GdrTransfer thrash = engine.transfer(window_, 16_MiB);
+  EXPECT_GT(thrash.atc_misses, 3000u);
+  EXPECT_LT(thrash.gbps, fit.gbps - 10.0);
+}
+
+TEST_F(GdrEngineTest, ZeroLengthIsNoop) {
+  GdrEngine engine(pcie_, engine_config(400), GdrMode::kEmtt, nullptr);
+  const GdrTransfer t = engine.transfer(window_, 0);
+  EXPECT_EQ(t.duration, SimTime::zero());
+  EXPECT_EQ(t.gbps, 0.0);
+}
+
+TEST_F(GdrEngineTest, ModeNames) {
+  EXPECT_STREQ(gdr_mode_name(GdrMode::kEmtt), "eMTT");
+  EXPECT_STREQ(gdr_mode_name(GdrMode::kAtsAtc), "ATS/ATC");
+  EXPECT_STREQ(gdr_mode_name(GdrMode::kRcRouted), "RC-routed");
+}
+
+}  // namespace
+}  // namespace stellar

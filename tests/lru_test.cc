@@ -1,0 +1,91 @@
+#include "memory/lru.h"
+
+#include <gtest/gtest.h>
+
+namespace stellar {
+namespace {
+
+TEST(LruCacheTest, HitAndMissCounters) {
+  LruCache<int, int> cache(2);
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(1, 10);
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), 10);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.get(1);       // 1 becomes MRU
+  cache.put(3, 30);   // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // refresh + overwrite
+  cache.put(3, 30);  // evicts 2, not 1
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_EQ(*cache.get(1), 11);
+}
+
+TEST(LruCacheTest, PeekDoesNotTouch) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_NE(cache.peek(1), nullptr);  // no recency update, no counter
+  cache.put(3, 30);                   // evicts 1 (peek didn't refresh)
+  EXPECT_EQ(cache.peek(1), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache<int, int> cache(0);
+  cache.put(1, 1);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, HitRate) {
+  LruCache<int, int> cache(8);
+  cache.put(1, 1);
+  cache.get(1);
+  cache.get(1);
+  cache.get(2);
+  EXPECT_NEAR(cache.hit_rate(), 2.0 / 3.0, 1e-9);
+  cache.reset_counters();
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(LruCacheTest, CapacityStress) {
+  LruCache<std::uint64_t, std::uint64_t> cache(128);
+  for (std::uint64_t i = 0; i < 10'000; ++i) cache.put(i, i);
+  EXPECT_EQ(cache.size(), 128u);
+  // The last 128 inserted keys are resident.
+  for (std::uint64_t i = 10'000 - 128; i < 10'000; ++i) {
+    EXPECT_NE(cache.peek(i), nullptr);
+  }
+  EXPECT_EQ(cache.peek(0), nullptr);
+}
+
+}  // namespace
+}  // namespace stellar

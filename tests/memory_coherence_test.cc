@@ -1,0 +1,101 @@
+// Translation-coherence corner cases across the IOMMU/IOTLB and PVDMA:
+// cached IOTLB entries must never outlive their mappings, and PVDMA block
+// reference counting must stay exact under interleaved register/release.
+#include <gtest/gtest.h>
+
+#include "virt/pvdma.h"
+
+namespace stellar {
+namespace {
+
+TEST(IotlbCoherenceTest, UnmapInvalidatesCachedTranslations) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.map(IoVa{0x100000}, Hpa{0x800000}, 0x10000).is_ok());
+  // Warm the IOTLB.
+  ASSERT_TRUE(iommu.translate(IoVa{0x100000}).is_ok());
+  ASSERT_TRUE(iommu.translate(IoVa{0x100000}).value().iotlb_hit);
+  // Unmap must shoot the cached entry down — a hit here would be a
+  // use-after-unmap DMA.
+  ASSERT_TRUE(iommu.unmap(IoVa{0x100000}).is_ok());
+  EXPECT_FALSE(iommu.translate(IoVa{0x100000}).is_ok());
+}
+
+TEST(IotlbCoherenceTest, RemapAfterUnmapServesNewTranslation) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.map(IoVa{0}, Hpa{0x1000000}, kPage4K).is_ok());
+  ASSERT_TRUE(iommu.translate(IoVa{0}).is_ok());  // cache old frame
+  ASSERT_TRUE(iommu.unmap(IoVa{0}).is_ok());
+  ASSERT_TRUE(iommu.map(IoVa{0}, Hpa{0x2000000}, kPage4K).is_ok());
+  auto t = iommu.translate(IoVa{0});
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_EQ(t.value().hpa, Hpa{0x2000000});  // never the stale frame
+}
+
+TEST(IotlbCoherenceTest, UnmapRangeInvalidatesToo) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.map(IoVa{kPage2M}, Hpa{0x4000000}, kPage2M).is_ok());
+  ASSERT_TRUE(iommu.translate(IoVa{kPage2M + 0x1000}).is_ok());
+  iommu.unmap_range(IoVa{kPage2M}, kPage2M);
+  EXPECT_FALSE(iommu.translate(IoVa{kPage2M + 0x1000}).is_ok());
+}
+
+class PvdmaRefcountTest : public ::testing::Test {
+ protected:
+  PvdmaRefcountTest() {
+    (void)ept_.map(Gpa{0}, Hpa{8_GiB}, 1_GiB);
+  }
+  Iommu iommu_;
+  Ept ept_;
+};
+
+TEST_F(PvdmaRefcountTest, InterleavedUsersKeepExactCounts) {
+  Pvdma pvdma(iommu_, ept_);
+  const Gpa block{4 * kPage2M};
+  // Three users of the same block, arriving at different offsets.
+  ASSERT_TRUE(pvdma.prepare_dma(block, 4096).is_ok());
+  ASSERT_TRUE(pvdma.prepare_dma(block + 0x10000, 4096).is_ok());
+  ASSERT_TRUE(pvdma.prepare_dma(block + 0x20000, 4096).is_ok());
+  EXPECT_EQ(pvdma.map_cache().users(block), 3u);
+  EXPECT_EQ(pvdma.pinned_bytes(), kPage2M);  // one pin, not three
+
+  pvdma.release_dma(block + 0x10000, 4096);
+  pvdma.release_dma(block, 4096);
+  EXPECT_EQ(pvdma.map_cache().users(block), 1u);
+  EXPECT_TRUE(iommu_.translate(IoVa{block.value()}).is_ok());
+  pvdma.release_dma(block + 0x20000, 4096);
+  EXPECT_EQ(pvdma.pinned_bytes(), 0u);
+  EXPECT_FALSE(iommu_.translate(IoVa{block.value()}).is_ok());
+}
+
+TEST_F(PvdmaRefcountTest, ReleaseOfUnknownBlockIsHarmless) {
+  Pvdma pvdma(iommu_, ept_);
+  pvdma.release_dma(Gpa{100 * kPage2M}, 4096);  // never registered
+  EXPECT_EQ(pvdma.pinned_bytes(), 0u);
+}
+
+TEST_F(PvdmaRefcountTest, RepinAfterFullRelease) {
+  Pvdma pvdma(iommu_, ept_);
+  const Gpa block{2 * kPage2M};
+  ASSERT_TRUE(pvdma.prepare_dma(block, 4096).is_ok());
+  pvdma.release_dma(block, 4096);
+  auto again = pvdma.prepare_dma(block, 4096);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_FALSE(again.value().cache_hit);  // genuinely re-registered
+  EXPECT_EQ(pvdma.pinned_bytes(), kPage2M);
+  EXPECT_EQ(pvdma.blocks_registered(), 2u);  // lifetime counter
+}
+
+TEST_F(PvdmaRefcountTest, SparseGuestMappingSkipsHoles) {
+  // Guest RAM with a hole: PVDMA must register only the mapped runs.
+  Iommu iommu;
+  Ept ept;
+  ASSERT_TRUE(ept.map(Gpa{0}, Hpa{8_GiB}, kPage2M / 2).is_ok());
+  // Second half of the block is unmapped.
+  Pvdma pvdma(iommu, ept);
+  ASSERT_TRUE(pvdma.prepare_dma(Gpa{0}, 4096).is_ok());
+  EXPECT_TRUE(iommu.translate(IoVa{0}).is_ok());
+  EXPECT_FALSE(iommu.translate(IoVa{kPage2M / 2}).is_ok());  // hole faults
+}
+
+}  // namespace
+}  // namespace stellar

@@ -1,0 +1,133 @@
+// End-to-end replay of Figure 5: the PVDMA / direct-mapped doorbell
+// conflict, and its elimination by moving the vDB into the virtio shm
+// region. This is the paper's central correctness war story.
+#include <gtest/gtest.h>
+
+#include "pcie/host_pcie.h"
+#include "virt/container.h"
+#include "virt/hypervisor.h"
+
+namespace stellar {
+namespace {
+
+class PvdmaConflictTest : public ::testing::Test {
+ protected:
+  HostPcieConfig pcie_config() {
+    HostPcieConfig cfg;
+    cfg.main_memory_bytes = 8_GiB;
+    return cfg;
+  }
+
+  /// Runs the five-step Figure-5 sequence under the given hypervisor
+  /// config; returns the access kind the GPU's final DMA observes.
+  Pvdma::AccessKind run_scenario(bool vdb_in_shm) {
+    HostPcie pcie(pcie_config());
+    const std::size_t sw = pcie.add_switch("sw0");
+    // The RNIC's doorbell BAR.
+    const Bdf rnic_bdf{0x10, 0, 0};
+    auto rnic_bar = pcie.attach_device(rnic_bdf, sw, 1_MiB);
+    EXPECT_TRUE(rnic_bar.is_ok());
+
+    HypervisorConfig hcfg;
+    hcfg.use_pvdma = true;
+    hcfg.vdb_in_shm = vdb_in_shm;
+    Hypervisor hyp(pcie, hcfg);
+
+    RundContainer container(/*id=*/1, "tenant", 2_GiB);
+    EXPECT_TRUE(hyp.boot_container(container).is_ok());
+    Pvdma& pvdma = hyp.pvdma(container.id());
+
+    // Step 1: the RDMA program starts; the vDB is direct-mapped.
+    auto vdb = hyp.map_vdb(container, rnic_bar.value().base);
+    EXPECT_TRUE(vdb.is_ok());
+
+    // Step 2: the GPU driver allocates its command queue in the adjacent
+    // GPA region (the bump allocator guarantees adjacency).
+    auto cmdq = container.alloc(16 * kPage4K, kPage4K);
+    EXPECT_TRUE(cmdq.is_ok());
+
+    // Step 3: the GPU DMAs from the command queue; PVDMA registers the
+    // covering 2 MiB block — which, without the shm fix, also swallows the
+    // vDB's 4 KiB EPT hole.
+    EXPECT_TRUE(pvdma.prepare_dma(cmdq.value(), 16 * kPage4K).is_ok());
+
+    // Step 4: the RDMA program exits; the vDB mapping is torn down and the
+    // GPA returns to RAM. The IOMMU block stays: the GPU still uses CmdQ.
+    EXPECT_TRUE(hyp.unmap_vdb(container, vdb.value()).is_ok());
+
+    // Step 5: the guest OS reuses the old vDB GPA for a new command queue
+    // (Cmd Q'); PVDMA sees the block already registered and does nothing.
+    Gpa reused = vdb.is_ok() && !vdb.value().in_shm
+                     ? vdb.value().gpa
+                     : container.alloc(kPage4K).value();
+    EXPECT_TRUE(pvdma.prepare_dma(reused, kPage4K).is_ok());
+
+    // The GPU now DMAs to Cmd Q'.
+    return pvdma.translate_for_device(reused).kind;
+  }
+};
+
+TEST_F(PvdmaConflictTest, WithoutShmFixGpuHitsStaleDoorbellMapping) {
+  // Pre-fix layout: the GPU's DMA lands on the RNIC doorbell register —
+  // "invalid commands and unrecoverable system errors" (§5).
+  EXPECT_EQ(run_scenario(/*vdb_in_shm=*/false),
+            Pvdma::AccessKind::kStaleDeviceMapping);
+}
+
+TEST_F(PvdmaConflictTest, ShmRegionEliminatesTheConflict) {
+  // With the vDB in the virtio shm I/O space, PVDMA blocks can never cover
+  // it; the reused GPA translates to plain RAM.
+  EXPECT_EQ(run_scenario(/*vdb_in_shm=*/true), Pvdma::AccessKind::kRam);
+}
+
+TEST_F(PvdmaConflictTest, StaleAccessCounterIncrements) {
+  HostPcie pcie(pcie_config());
+  const std::size_t sw = pcie.add_switch("sw0");
+  auto bar = pcie.attach_device(Bdf{0x10, 0, 0}, sw, 1_MiB);
+  ASSERT_TRUE(bar.is_ok());
+  HypervisorConfig hcfg;
+  hcfg.vdb_in_shm = false;
+  Hypervisor hyp(pcie, hcfg);
+  RundContainer container(1, "t", 2_GiB);
+  ASSERT_TRUE(hyp.boot_container(container).is_ok());
+  Pvdma& pvdma = hyp.pvdma(1);
+
+  auto vdb = hyp.map_vdb(container, bar.value().base);
+  ASSERT_TRUE(vdb.is_ok());
+  auto cmdq = container.alloc(4 * kPage4K);
+  ASSERT_TRUE(cmdq.is_ok());
+  ASSERT_TRUE(pvdma.prepare_dma(cmdq.value(), 4 * kPage4K).is_ok());
+  ASSERT_TRUE(hyp.unmap_vdb(container, vdb.value()).is_ok());
+  EXPECT_EQ(pvdma.stale_accesses(), 0u);
+  (void)pvdma.translate_for_device(vdb.value().gpa);
+  EXPECT_EQ(pvdma.stale_accesses(), 1u);
+}
+
+TEST_F(PvdmaConflictTest, ShmSupportsGpuDirectAsyncRegistration) {
+  // §5: the shm space is not IOMMU-visible by default; GPUDirect Async
+  // needs the doorbell explicitly registered for device DMA.
+  HostPcie pcie(pcie_config());
+  const std::size_t sw = pcie.add_switch("sw0");
+  auto bar = pcie.attach_device(Bdf{0x10, 0, 0}, sw, 1_MiB);
+  ASSERT_TRUE(bar.is_ok());
+  Hypervisor hyp(pcie, {});
+  RundContainer container(1, "t", 1_GiB);
+  ASSERT_TRUE(hyp.boot_container(container).is_ok());
+  auto vdb = hyp.map_vdb(container, bar.value().base);
+  ASSERT_TRUE(vdb.is_ok());
+  ASSERT_TRUE(vdb.value().in_shm);
+
+  ShmRegion& shm = hyp.shm(1);
+  // Pick a device VA far above guest RAM for the doorbell window.
+  const IoVa db_va{1ull << 45};
+  EXPECT_FALSE(pcie.iommu().translate(db_va).is_ok());
+  ASSERT_TRUE(shm.register_for_device_dma(vdb.value().shm, kPage4K,
+                                          pcie.iommu(), db_va)
+                  .is_ok());
+  auto t = pcie.iommu().translate(db_va);
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_EQ(t.value().hpa, bar.value().base);  // GPU can now ring the bell
+}
+
+}  // namespace
+}  // namespace stellar

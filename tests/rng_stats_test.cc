@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace stellar {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(128), 128u);
+    EXPECT_LT(rng.below(3), 3u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.03);
+  EXPECT_NEAR(hits / 100'000.0, 0.03, 0.005);
+}
+
+TEST(HashTest, MixIsDeterministicAndSpreads) {
+  EXPECT_EQ(hash_mix(42), hash_mix(42));
+  EXPECT_NE(hash_mix(1), hash_mix(2));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(PercentileRecorderTest, ExactPercentiles) {
+  PercentileRecorder r;
+  for (int i = 1; i <= 100; ++i) r.add(i);
+  EXPECT_NEAR(r.median(), 50.5, 0.01);
+  EXPECT_NEAR(r.percentile(0.99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(r.max(), 100.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_NEAR(r.mean(), 50.5, 0.01);
+}
+
+TEST(PercentileRecorderTest, InterleavedAddAndQuery) {
+  PercentileRecorder r;
+  r.add(10);
+  EXPECT_DOUBLE_EQ(r.median(), 10.0);
+  r.add(20);  // must re-sort transparently
+  EXPECT_DOUBLE_EQ(r.max(), 20.0);
+}
+
+}  // namespace
+}  // namespace stellar

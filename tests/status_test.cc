@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace stellar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = resource_exhausted("LUT full");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "LUT full");
+  EXPECT_EQ(s.to_string(), "RESOURCE_EXHAUSTED: LUT full");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(invalid_argument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(not_found("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(resource_exhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(failed_precondition("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(permission_denied("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(out_of_range("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(internal_error("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(0), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = not_found("nope");
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.is_ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("stellar");
+  EXPECT_EQ(v->size(), 7u);
+}
+
+}  // namespace
+}  // namespace stellar

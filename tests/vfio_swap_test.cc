@@ -1,0 +1,81 @@
+// Problem (2) of §3.1 as a state machine: under VFIO, the GPA->HPA mapping
+// a RunD container's RNIC driver relies on is only stable if the host pins
+// the memory. If the host swaps a page (changing its HPA backing), the
+// IOMMU's stale translation sends device DMA to the wrong physical frame —
+// the "driver behaves unpredictably and crashes" failure that forced
+// pin-everything-at-boot (and, downstream, PVDMA).
+#include <gtest/gtest.h>
+
+#include "memory/ept.h"
+#include "memory/iommu.h"
+#include "rnic/mtt.h"
+
+namespace stellar {
+namespace {
+
+TEST(VfioSwapTest, SwapUnderUnpinnedVfioDivergesCpuAndDmaViews) {
+  Ept ept;
+  Iommu iommu;
+  ASSERT_TRUE(ept.map(Gpa{0}, Hpa{1_GiB}, 64_MiB).is_ok());
+  // VFIO programs the IOMMU once, with the boot-time static view.
+  ASSERT_TRUE(iommu.map(IoVa{0}, Hpa{1_GiB}, 64_MiB).is_ok());
+
+  // The guest registers an MR; the VFIO-era MTT holds GVA->GPA and relies
+  // on the IOMMU for the final hop.
+  Mtt mtt(1 << 20);
+  ASSERT_TRUE(mtt.register_region(1, Gva{0x7000000}, 4_MiB,
+                                  /*gpa=*/8 * kPage2M,
+                                  MemoryOwner::kHostDram,
+                                  /*translated=*/false)
+                  .is_ok());
+  const std::uint64_t gpa =
+      mtt.lookup(1, Gva{0x7000000}).value().target;  // MTT's GPA view
+  EXPECT_EQ(gpa, 8 * kPage2M);
+
+  // Views agree before the swap.
+  EXPECT_EQ(ept.translate(Gpa{gpa}).value(),
+            iommu.translate(IoVa{gpa}).value().hpa);
+
+  // Host memory pressure: the kernel swaps the (unpinned) block out and
+  // faults it back at a different HPA. The CPU-side EPT is updated...
+  ASSERT_TRUE(ept.remap_ram(Gpa{8 * kPage2M}, Hpa{2_GiB}, kPage2M).is_ok());
+
+  // ...but the IOMMU still maps the old frame: device DMA through the
+  // stale translation lands on memory that now belongs to someone else.
+  const Hpa cpu_view = ept.translate(Gpa{gpa}).value();
+  const Hpa dma_view = iommu.translate(IoVa{gpa}).value().hpa;
+  EXPECT_NE(cpu_view, dma_view);  // the §3.1(2) corruption
+  EXPECT_EQ(dma_view, Hpa{1_GiB + 8 * kPage2M});
+  EXPECT_EQ(cpu_view, Hpa{2_GiB});
+}
+
+TEST(VfioSwapTest, NeighbouringPagesUnaffectedBySwap) {
+  Ept ept;
+  ASSERT_TRUE(ept.map(Gpa{0}, Hpa{1_GiB}, 64_MiB).is_ok());
+  ASSERT_TRUE(ept.remap_ram(Gpa{8 * kPage2M}, Hpa{2_GiB}, kPage2M).is_ok());
+  EXPECT_EQ(ept.translate(Gpa{7 * kPage2M}).value(),
+            Hpa{1_GiB + 7 * kPage2M});
+  EXPECT_EQ(ept.translate(Gpa{9 * kPage2M}).value(),
+            Hpa{1_GiB + 9 * kPage2M});
+}
+
+TEST(VfioSwapTest, RemapRamValidation) {
+  Ept ept;
+  ASSERT_TRUE(ept.map(Gpa{0}, Hpa{1_GiB}, 4_MiB).is_ok());
+  // Swapping a range the EPT never mapped fails cleanly.
+  EXPECT_FALSE(ept.remap_ram(Gpa{1_GiB}, Hpa{0}, kPage2M).is_ok());
+  // Spanning past the mapped range fails too.
+  EXPECT_FALSE(ept.remap_ram(Gpa{3 * kPage2M}, Hpa{0}, 2 * kPage2M).is_ok());
+}
+
+TEST(VfioSwapTest, PinningForbidsTheSwapInTheFirstPlace) {
+  // The production workaround: pin everything so the kernel may not move
+  // it — correctness restored at the price of the Figure-6 startup time.
+  Iommu iommu;
+  iommu.note_pinned(1600ull * 1_GiB);
+  EXPECT_EQ(iommu.pinned_bytes(), 1600ull * 1_GiB);
+  EXPECT_GT(iommu.pin_cost(1600ull * 1_GiB).sec(), 300.0);
+}
+
+}  // namespace
+}  // namespace stellar

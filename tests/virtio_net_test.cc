@@ -1,0 +1,75 @@
+#include "virt/virtio_net.h"
+
+#include <gtest/gtest.h>
+
+namespace stellar {
+namespace {
+
+TEST(PlatformTest, AtsWithPassthroughRejectedOnAffectedModel) {
+  HostPlatformConfig cfg;
+  cfg.iommu_mode = IommuMode::kPassthrough;
+  cfg.ats_enabled = true;
+  cfg.ats_requires_nopt = true;
+  EXPECT_EQ(validate_platform(cfg).code(), StatusCode::kFailedPrecondition);
+  // Unaffected models accept the combination.
+  cfg.ats_requires_nopt = false;
+  EXPECT_TRUE(validate_platform(cfg).is_ok());
+  // Disabling ATS also resolves it (but kills baseline GDR).
+  cfg.ats_requires_nopt = true;
+  cfg.ats_enabled = false;
+  EXPECT_TRUE(validate_platform(cfg).is_ok());
+  EXPECT_FALSE(baseline_gdr_possible(cfg));
+}
+
+TEST(PlatformTest, Problem4TradeoffIsLoseLose) {
+  // The §3.1(4) production dilemma on the affected model:
+  HostPlatformConfig gdr_config;  // ATS on => must run nopt
+  gdr_config.iommu_mode = IommuMode::kNoPassthrough;
+  gdr_config.ats_enabled = true;
+  ASSERT_TRUE(validate_platform(gdr_config).is_ok());
+  EXPECT_TRUE(baseline_gdr_possible(gdr_config));
+  // ...but host TCP pays ~40%.
+  EXPECT_LT(host_tcp_throughput(gdr_config).as_gbps(), 130.0);
+
+  HostPlatformConfig tcp_config;  // pt keeps TCP fast => no ATS, no GDR
+  tcp_config.iommu_mode = IommuMode::kPassthrough;
+  tcp_config.ats_enabled = false;
+  ASSERT_TRUE(validate_platform(tcp_config).is_ok());
+  EXPECT_FALSE(baseline_gdr_possible(tcp_config));
+  EXPECT_DOUBLE_EQ(host_tcp_throughput(tcp_config).as_gbps(), 200.0);
+}
+
+TEST(PlatformTest, VirtioStackCostsAboutFivePercent) {
+  HostPlatformConfig cfg;
+  cfg.iommu_mode = IommuMode::kPassthrough;
+  cfg.ats_enabled = false;
+  const double vf = tenant_tcp_throughput(TcpStack::kVfioVf, cfg).as_gbps();
+  const double virtio =
+      tenant_tcp_throughput(TcpStack::kVirtioSfVdpa, cfg).as_gbps();
+  EXPECT_NEAR(virtio / vf, 0.95, 0.001);
+}
+
+TEST(PlatformTest, VirtioStackIsInsensitiveToIommuMode) {
+  // The Stellar architecture point: the SF/vDPA data path does not depend
+  // on the fragile ATS/IOMMU settings, so the Problem-4 dilemma vanishes.
+  HostPlatformConfig nopt;
+  nopt.iommu_mode = IommuMode::kNoPassthrough;
+  HostPlatformConfig pt;
+  pt.iommu_mode = IommuMode::kPassthrough;
+  pt.ats_enabled = false;
+  EXPECT_EQ(tenant_tcp_throughput(TcpStack::kVirtioSfVdpa, nopt).bps(),
+            tenant_tcp_throughput(TcpStack::kVirtioSfVdpa, pt).bps());
+  // While the VF path degrades under nopt:
+  EXPECT_LT(tenant_tcp_throughput(TcpStack::kVfioVf, nopt).bps(),
+            tenant_tcp_throughput(TcpStack::kVfioVf, pt).bps());
+}
+
+TEST(PlatformTest, Names) {
+  EXPECT_STREQ(iommu_mode_name(IommuMode::kPassthrough), "pt");
+  EXPECT_STREQ(iommu_mode_name(IommuMode::kNoPassthrough), "nopt");
+  EXPECT_STREQ(tcp_stack_name(TcpStack::kVfioVf), "VFIO/VF");
+  EXPECT_STREQ(tcp_stack_name(TcpStack::kVirtioSfVdpa), "virtio/SF/vDPA");
+}
+
+}  // namespace
+}  // namespace stellar
