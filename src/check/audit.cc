@@ -1,0 +1,55 @@
+#include "check/audit.h"
+
+namespace stellar {
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const Finding& f : findings_) {
+    if (!out.empty()) out += "\n";
+    out += "[" + f.auditor + "] " + f.detail;
+  }
+  return out;
+}
+
+AuditRegistry::~AuditRegistry() { detach(); }
+
+AuditReport AuditRegistry::run_all() {
+  AuditReport report;
+  for (const auto& auditor : auditors_) {
+    auditor->audit(report);
+  }
+  ++runs_;
+  total_findings_ += report.findings().size();
+  if (trap_on_finding_ && !report.clean()) {
+    STELLAR_CHECK(report.clean(), "invariant audit found %zu violation(s):\n%s",
+                  report.findings().size(), report.to_string().c_str());
+  }
+  return report;
+}
+
+void AuditRegistry::attach_periodic(Simulator& sim, SimTime period) {
+  detach();
+  sim_ = &sim;
+  period_ = period;
+  pending_ = sim_->schedule_after(period_, [this] { fire(); });
+}
+
+void AuditRegistry::detach() {
+  if (sim_ != nullptr && pending_.valid()) {
+    sim_->cancel(pending_);
+  }
+  pending_ = EventHandle{};
+  sim_ = nullptr;
+}
+
+void AuditRegistry::fire() {
+  pending_ = EventHandle{};
+  (void)run_all();
+  // Re-arm only while other work is queued: the firing that observes an
+  // empty queue was the drain-time audit, and the simulation may end.
+  if (sim_ != nullptr && !sim_->empty()) {
+    pending_ = sim_->schedule_after(period_, [this] { fire(); });
+  }
+}
+
+}  // namespace stellar

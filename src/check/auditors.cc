@@ -1,0 +1,324 @@
+#include "check/auditors.h"
+
+#include <algorithm>
+#include <string>
+
+#include "memory/address.h"
+
+namespace stellar {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// (a) Packet conservation: injected = delivered + dropped + in-flight.
+// ---------------------------------------------------------------------------
+
+void FabricConservationAuditor::audit(AuditReport& report) const {
+#if STELLAR_AUDIT_ENABLED
+  std::uint64_t link_drops = 0;
+  std::uint64_t held = 0;
+  for (const NetLink* link : fabric_->all_links()) {
+    link_drops += link->audit_ingress_drops() + link->audit_sink_drops();
+    held += link->held_packets();
+    // Per-link sanity: a link can never have released or dropped more
+    // packets than it accepted (held_packets() underflows otherwise).
+    report.note_check();
+    if (link->audit_released() + link->audit_sink_drops() >
+        link->audit_accepted()) {
+      report.fail(name(), "link " + link->name() +
+                              " released more packets than it accepted");
+    }
+  }
+  const std::uint64_t injected = fabric_->injected_packets();
+  const std::uint64_t accounted = fabric_->delivered_packets() +
+                                  fabric_->dropped_no_handler() + link_drops +
+                                  held;
+  report.note_check();
+  if (injected != accounted) {
+    report.fail(name(),
+                "packet conservation violated: injected=" +
+                    std::to_string(injected) + " but delivered=" +
+                    std::to_string(fabric_->delivered_packets()) +
+                    " + no-handler=" +
+                    std::to_string(fabric_->dropped_no_handler()) +
+                    " + link-drops=" + std::to_string(link_drops) +
+                    " + in-flight=" + std::to_string(held) + " = " +
+                    std::to_string(accounted));
+  }
+#else
+  (void)report;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// (b) IOMMU pins vs PVDMA Map Cache residency (§5 pin lifecycle).
+// ---------------------------------------------------------------------------
+
+void PinAccountingAuditor::audit(AuditReport& report) const {
+  const MapCache& cache = pvdma_->map_cache();
+  const std::uint64_t block_size = cache.block_size();
+
+  // PVDMA's pinned-byte counter is exactly the resident block set.
+  report.note_check();
+  const std::uint64_t resident_bytes = cache.block_count() * block_size;
+  if (pvdma_->pinned_bytes() != resident_bytes) {
+    report.fail(name(), "PVDMA pinned_bytes=" +
+                            std::to_string(pvdma_->pinned_bytes()) +
+                            " but Map Cache holds " +
+                            std::to_string(cache.block_count()) +
+                            " blocks = " + std::to_string(resident_bytes) +
+                            " bytes");
+  }
+
+  // The IOMMU-side pin counter agrees when PVDMA is the only pinner.
+  if (exclusive_iommu_) {
+    report.note_check();
+    if (iommu_->pinned_bytes() != pvdma_->pinned_bytes()) {
+      report.fail(name(), "IOMMU pinned_bytes=" +
+                              std::to_string(iommu_->pinned_bytes()) +
+                              " != PVDMA pinned_bytes=" +
+                              std::to_string(pvdma_->pinned_bytes()));
+    }
+  }
+
+  // Every resident block: alive (users >= 1) and its EPT-mapped pages still
+  // covered by the IOMMU (an unpin must not race a live registration).
+  cache.for_each_block([&](Gpa block, std::uint32_t users) {
+    report.note_check();
+    if (users == 0) {
+      report.fail(name(), "Map Cache block " + hex(block.value()) +
+                              " resident with zero users");
+    }
+    for (std::uint64_t off = 0; off < block_size; off += kPage4K) {
+      const Gpa page = block + off;
+      if (!ept_->translate(page).is_ok()) continue;  // never registered
+      report.note_check();
+      if (!iommu_->is_mapped(IoVa{page.value()})) {
+        report.fail(name(), "pinned block " + hex(block.value()) +
+                                " lost its IOMMU mapping at GPA " +
+                                hex(page.value()));
+        break;  // one finding per block is enough
+      }
+    }
+  });
+
+  // Conversely, no IOMMU range may outlive its block: anything mapped
+  // outside the resident set is a stale entry left behind by an unpin.
+  for (const auto& [start, entry] : iommu_->table()) {
+    report.note_check();
+    const Gpa first{start};
+    const Gpa last{start + entry.len - 1};
+    if (!cache.contains(first) || !cache.contains(last)) {
+      report.fail(name(), "stale IOMMU mapping [" + hex(start) + ", " +
+                              hex(start + entry.len) +
+                              ") outside any resident Map Cache block");
+    }
+  }
+
+  // Double-unpins are logged when they happen; surface them here too.
+  report.note_check();
+  if (pvdma_->double_unpins() != 0) {
+    report.fail(name(), std::to_string(pvdma_->double_unpins()) +
+                            " double-unpin(s) observed (see log)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) eMTT coherence (§6): entries never point at unpinned or swapped HPAs.
+// ---------------------------------------------------------------------------
+
+void EmttCoherenceAuditor::audit(AuditReport& report) const {
+  for (const auto& device : host_->devices_) {
+    const Rnic& rnic = *device->rnic_;
+    Hypervisor& hyp = host_->hypervisor();
+    const Ept& ept = hyp.ept(device->vm_);
+    const MapCache& cache = hyp.pvdma(device->vm_).map_cache();
+    const std::uint64_t block_size = cache.block_size();
+
+    for (const auto& [key, range] : device->pinned_ranges_) {
+      const auto [gpa, len] = range;
+      auto mr = rnic.verbs().mr(key);
+      report.note_check();
+      if (!mr.is_ok()) {
+        report.fail(name(), "pinned range for MR key " + std::to_string(key) +
+                                " has no verbs MR");
+        continue;
+      }
+      const Gva base = mr.value()->base;
+
+      // Probe each PVDMA-block stride of the MR plus its last byte: the
+      // eMTT's stored final HPA must match the EPT's *current* translation
+      // (a mismatch means the host swapped/remapped the page under a live
+      // registration), and the backing block must still be resident.
+      for (std::uint64_t probe = 0, done = 0; !done;
+           done = (probe == len - 1),
+                        probe = std::min(probe + block_size, len - 1)) {
+        report.note_check();
+        if (!cache.contains(gpa + probe)) {
+          report.fail(name(), "eMTT entry for MR " + std::to_string(key) +
+                                  " points into unpinned GPA " +
+                                  hex((gpa + probe).value()));
+          break;
+        }
+        auto entry = rnic.mtt().lookup(key, base + probe);
+        report.note_check();
+        if (!entry.is_ok() || !entry.value().translated) {
+          report.fail(name(), "MR " + std::to_string(key) +
+                                  " lacks an eMTT translation at offset " +
+                                  std::to_string(probe));
+          break;
+        }
+        auto current = ept.translate(gpa + probe);
+        report.note_check();
+        if (!current.is_ok() ||
+            current.value().value() != entry.value().target) {
+          report.fail(
+              name(),
+              "eMTT entry for MR " + std::to_string(key) + " stores HPA " +
+                  hex(entry.value().target) + " but EPT now maps GPA " +
+                  hex((gpa + probe).value()) + " to " +
+                  (current.is_ok() ? hex(current.value().value())
+                                   : std::string("<unmapped>")) +
+                  " (swapped under a live registration)");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (d) Transport/QP state legality (§7 spray + RTO rules).
+// ---------------------------------------------------------------------------
+
+void TransportAuditor::audit(AuditReport& report) const {
+  for (const auto& conn : engine_->connections_) {
+    const std::string tag = "conn " + std::to_string(conn->id());
+
+    // In-flight byte accounting matches the outstanding table exactly.
+    std::uint64_t outstanding_bytes = 0;
+    std::uint64_t max_psn = 0;
+    for (const auto& [psn, meta] : conn->outstanding_) {
+      outstanding_bytes += meta.bytes;
+      max_psn = std::max(max_psn, psn);
+    }
+    report.note_check();
+    if (conn->inflight_bytes_ != outstanding_bytes) {
+      report.fail(name(), tag + ": inflight_bytes=" +
+                              std::to_string(conn->inflight_bytes_) +
+                              " != sum(outstanding)=" +
+                              std::to_string(outstanding_bytes));
+    }
+
+    // PSNs are allocated monotonically; nothing in flight may carry a PSN
+    // the sender has not issued yet.
+    report.note_check();
+    if (!conn->outstanding_.empty() && max_psn >= conn->next_psn_) {
+      report.fail(name(), tag + ": outstanding PSN " + std::to_string(max_psn) +
+                              " >= next_psn " +
+                              std::to_string(conn->next_psn_));
+    }
+
+    // Outstanding data never exceeds the hard window ceiling (admission
+    // checks inflight < window before each packet, so the overshoot is at
+    // most one MTU above the configured maximum).
+    report.note_check();
+    if (conn->inflight_bytes_ >
+        conn->config_.cc.max_window + conn->config_.mtu) {
+      report.fail(name(), tag + ": inflight_bytes=" +
+                              std::to_string(conn->inflight_bytes_) +
+                              " exceeds max_window+mtu=" +
+                              std::to_string(conn->config_.cc.max_window +
+                                             conn->config_.mtu));
+    }
+
+    // An errored QP holds no in-flight state; a healthy QP arms the RTO
+    // timer exactly when unacked packets exist.
+    report.note_check();
+    if (conn->error_ && !conn->outstanding_.empty()) {
+      report.fail(name(), tag + ": QP in error state but " +
+                              std::to_string(conn->outstanding_.size()) +
+                              " packets still outstanding");
+    }
+    report.note_check();
+    if (!conn->error_ &&
+        conn->rto_event_.valid() != !conn->outstanding_.empty()) {
+      report.fail(name(),
+                  tag + (conn->rto_event_.valid()
+                             ? ": RTO timer armed with nothing outstanding"
+                             : ": unacked packets but no RTO timer armed"));
+    }
+
+    // Per-path accounting sums to the shared total (§9 ablation mode).
+    if (conn->config_.per_path_cc) {
+      std::uint64_t per_path_sum = 0;
+      for (std::uint64_t v : conn->per_path_inflight_) per_path_sum += v;
+      report.note_check();
+      if (per_path_sum != conn->inflight_bytes_) {
+        report.fail(name(), tag + ": per-path inflight sum " +
+                                std::to_string(per_path_sum) +
+                                " != inflight_bytes " +
+                                std::to_string(conn->inflight_bytes_));
+      }
+    }
+  }
+
+  // Receiver-side PSN tracking: the floor is fully compacted (nothing at or
+  // below it is still stored) and the recorded high-water mark is sane.
+  for (const auto& [conn_id, rx] : engine_->rx_) {
+    const std::string tag = "rx conn " + std::to_string(conn_id);
+    report.note_check();
+    bool below_floor = false;
+    for (std::uint64_t psn : rx.psns_above_floor) {
+      if (psn <= rx.psn_floor) {
+        below_floor = true;
+        break;
+      }
+    }
+    if (below_floor) {
+      report.fail(name(), tag + ": PSN set holds entries at or below floor " +
+                              std::to_string(rx.psn_floor));
+    }
+    report.note_check();
+    if (rx.any && rx.highest_psn + 1 < rx.psn_floor) {
+      report.fail(name(), tag + ": highest_psn " +
+                              std::to_string(rx.highest_psn) +
+                              " inconsistent with floor " +
+                              std::to_string(rx.psn_floor));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (e) Simulator event-heap sanity.
+// ---------------------------------------------------------------------------
+
+void SimulatorAuditor::audit(AuditReport& report) const {
+  const Simulator::HeapStats stats = sim_->heap_stats();
+  report.note_check();
+  if (stats.pending_ids != stats.live_events) {
+    report.fail(name(), "live_events=" + std::to_string(stats.live_events) +
+                            " != pending id set size " +
+                            std::to_string(stats.pending_ids));
+  }
+  report.note_check();
+  if (stats.queued != stats.pending_ids + stats.tombstones) {
+    report.fail(name(), "queue holds " + std::to_string(stats.queued) +
+                            " events but pending=" +
+                            std::to_string(stats.pending_ids) +
+                            " + tombstones=" +
+                            std::to_string(stats.tombstones) + " = " +
+                            std::to_string(stats.pending_ids +
+                                           stats.tombstones));
+  }
+}
+
+}  // namespace stellar

@@ -1,0 +1,50 @@
+#include "check/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace stellar {
+
+namespace {
+CheckFailHandler& handler_slot() {
+  static CheckFailHandler handler;  // empty => default behavior
+  return handler;
+}
+}  // namespace
+
+std::string CheckFailure::to_string() const {
+  std::string out = "CHECK failed at ";
+  out += file != nullptr ? file : "?";
+  out += ":" + std::to_string(line);
+  out += ": ";
+  out += condition != nullptr ? condition : "?";
+  if (!message.empty()) {
+    out += " — " + message;
+  }
+  return out;
+}
+
+CheckFailHandler set_check_fail_handler(CheckFailHandler handler) {
+  CheckFailHandler previous = std::move(handler_slot());
+  handler_slot() = std::move(handler);
+  return previous;
+}
+
+namespace detail {
+
+void check_failed(const char* file, int line, const char* condition,
+                  std::string message) {
+  CheckFailure failure{file, line, condition, std::move(message)};
+  if (const CheckFailHandler& handler = handler_slot()) {
+    handler(failure);
+    // A trap handler normally throws or longjmps. Falling through means
+    // nobody dealt with a broken invariant: refuse to continue.
+  }
+  std::fprintf(stderr, "%s\n", failure.to_string().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace stellar

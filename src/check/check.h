@@ -1,0 +1,121 @@
+// Runtime invariant checking: STELLAR_CHECK / STELLAR_DCHECK / STELLAR_CHECK_OK.
+//
+// Production RDMA stacks ship auditable correctness tooling (MigrOS-style
+// QP/connection-state invariants); a simulator claiming protocol fidelity
+// needs the same. These macros replace bare assert(): they format a message,
+// carry file:line, and route through a configurable fail handler so tests
+// can trap violations instead of dying.
+//
+//   STELLAR_CHECK(cond)                 always compiled in
+//   STELLAR_CHECK(cond, "fmt %d", x)    printf-style context message
+//   STELLAR_CHECK_OK(status_or_expr)    requires .is_ok(); prints the status
+//   STELLAR_DCHECK(...)                 compiled out unless audits or !NDEBUG
+//
+// The STELLAR_AUDIT_ENABLED compile flag (CMake option STELLAR_AUDIT) also
+// gates STELLAR_AUDIT_ONLY(...), the wrapper hot paths use for the counter
+// instrumentation that feeds the invariant auditors (see audit.h). With
+// -DSTELLAR_AUDIT=OFF everything inside it vanishes from the build.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/log.h"     // detail::format
+#include "common/status.h"  // STELLAR_CHECK_OK over Status / StatusOr
+
+#ifndef STELLAR_AUDIT_ENABLED
+#define STELLAR_AUDIT_ENABLED 0
+#endif
+
+#if STELLAR_AUDIT_ENABLED
+#define STELLAR_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define STELLAR_AUDIT_ONLY(...)
+#endif
+
+namespace stellar {
+
+/// Everything known about one failed check, as handed to the fail handler.
+struct CheckFailure {
+  const char* file = nullptr;
+  int line = 0;
+  const char* condition = nullptr;  // stringified expression
+  std::string message;              // formatted context ("" if none given)
+
+  std::string to_string() const;
+};
+
+/// Called on every failed STELLAR_CHECK*. If the handler returns (instead
+/// of throwing / longjmp-ing), the process aborts — a violated invariant
+/// must never be silently survived.
+using CheckFailHandler = std::function<void(const CheckFailure&)>;
+
+/// Install a new fail handler; returns the previous one. Passing nullptr
+/// restores the default (print to stderr, abort). Tests use this to trap
+/// violations:
+///   set_check_fail_handler([](const CheckFailure& f) { throw f; });
+CheckFailHandler set_check_fail_handler(CheckFailHandler handler);
+
+namespace detail {
+
+/// Dispatch to the installed handler, then abort if it returns.
+[[noreturn]] void check_failed(const char* file, int line,
+                               const char* condition, std::string message);
+
+inline std::string check_message() { return {}; }
+template <typename... Args>
+std::string check_message(const char* fmt, Args&&... args) {
+  return format(fmt, std::forward<Args>(args)...);
+}
+
+inline const Status& check_status(const Status& s) { return s; }
+template <typename T>
+const Status& check_status(const StatusOr<T>& s) {
+  return s.status();
+}
+
+}  // namespace detail
+}  // namespace stellar
+
+#define STELLAR_CHECK(cond, ...)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::stellar::detail::check_failed(                                  \
+          __FILE__, __LINE__, #cond,                                    \
+          ::stellar::detail::check_message(__VA_ARGS__));               \
+    }                                                                   \
+  } while (0)
+
+/// Evaluates `expr` exactly once; fails unless `.is_ok()`, including the
+/// status text in the report. Works with both Status and StatusOr<T>.
+#define STELLAR_CHECK_OK(expr, ...)                                     \
+  do {                                                                  \
+    const auto& stellar_check_ok_result_ = (expr);                      \
+    if (!stellar_check_ok_result_.is_ok()) {                            \
+      ::stellar::detail::check_failed(                                  \
+          __FILE__, __LINE__, #expr " is OK",                           \
+          ::stellar::detail::check_status(stellar_check_ok_result_)     \
+                  .to_string() +                                        \
+              " " + ::stellar::detail::check_message(__VA_ARGS__));     \
+    }                                                                   \
+  } while (0)
+
+#if STELLAR_AUDIT_ENABLED || !defined(NDEBUG)
+#define STELLAR_DCHECK(cond, ...) STELLAR_CHECK(cond, ##__VA_ARGS__)
+#define STELLAR_DCHECK_OK(expr, ...) STELLAR_CHECK_OK(expr, ##__VA_ARGS__)
+#else
+// Compiled out: the condition is parsed (stays valid C++) but never
+// evaluated, so it carries no runtime cost and no side effects.
+#define STELLAR_DCHECK(cond, ...) \
+  do {                            \
+    if (false) {                  \
+      (void)(cond);               \
+    }                             \
+  } while (0)
+#define STELLAR_DCHECK_OK(expr, ...) \
+  do {                               \
+    if (false) {                     \
+      (void)(expr);                  \
+    }                                \
+  } while (0)
+#endif

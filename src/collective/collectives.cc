@@ -1,8 +1,9 @@
 #include "collective/collectives.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.h"
 
 namespace stellar {
 
@@ -48,7 +49,7 @@ RingCollective::RingCollective(EngineFleet& fleet,
 }
 
 void RingCollective::start(std::function<void()> on_complete) {
-  assert(!running_);
+  STELLAR_CHECK(!running_, "collective started while already running");
   running_ = true;
   finished_ranks_ = 0;
   on_complete_ = std::move(on_complete);
@@ -143,7 +144,7 @@ ChainBroadcast::ChainBroadcast(EngineFleet& fleet,
 }
 
 void ChainBroadcast::start(std::function<void()> on_complete) {
-  assert(!running_);
+  STELLAR_CHECK(!running_, "collective started while already running");
   running_ = true;
   on_complete_ = std::move(on_complete);
   std::fill(received_.begin(), received_.end(), 0);
@@ -275,7 +276,7 @@ AllToAll::AllToAll(EngineFleet& fleet, std::vector<EndpointId> ranks,
 }
 
 void AllToAll::start(std::function<void()> on_complete) {
-  assert(!running_);
+  STELLAR_CHECK(!running_, "collective started while already running");
   running_ = true;
   finished_ranks_ = 0;
   on_complete_ = std::move(on_complete);

@@ -38,6 +38,14 @@ class EngineFleet {
   Simulator& simulator() { return *sim_; }
   ClosFabric& fabric() { return *fabric_; }
 
+  /// Visit every instantiated engine — audit sweeps attach one transport
+  /// auditor per engine this way.
+  template <typename Fn>
+  void for_each_engine(Fn&& fn) const {
+    for (const auto& [id, engine] : engines_) fn(*engine);
+  }
+  std::size_t engine_count() const { return engines_.size(); }
+
  private:
   Simulator* sim_;
   ClosFabric* fabric_;

@@ -94,17 +94,16 @@ void BurstyDriver::burst_loop() {
   task_active_ = true;
 
   // Run the task back-to-back inside the on-window; then idle for the
-  // off-window and repeat. The completion callback needs to reference
-  // itself, hence the shared_ptr-to-std::function knot.
-  auto self_restart = std::make_shared<std::function<void()>>();
-  *self_restart = [this, self_restart] {
+  // off-window and repeat. The completion callback re-submits the task, so
+  // the driver keeps it alive as a member; start_ receives a copy each time.
+  restart_ = [this] {
     ++bursts_;
     if (!running_) {
       task_active_ = false;
       return;
     }
     if (sim_->now() - burst_started_ < on_) {
-      start_(*self_restart);
+      start_(restart_);
     } else {
       task_active_ = false;
       const SimTime elapsed = sim_->now() - burst_started_;
@@ -113,7 +112,7 @@ void BurstyDriver::burst_loop() {
       sim_->schedule_after(idle, [this] { burst_loop(); });
     }
   };
-  start_(*self_restart);
+  start_(restart_);
 }
 
 }  // namespace stellar

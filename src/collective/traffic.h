@@ -68,6 +68,7 @@ class BurstyDriver {
 
   Simulator* sim_;
   StartFn start_;
+  std::function<void()> restart_;  // held here so completions don't self-own
   SimTime on_;
   SimTime off_;
   bool running_ = false;

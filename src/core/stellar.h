@@ -88,6 +88,7 @@ class StellarHost {
 
  private:
   friend class VStellarDevice;
+  friend class EmttCoherenceAuditor;  // walks devices for eMTT audits
 
   StellarHostConfig config_;
   std::unique_ptr<HostPcie> pcie_;
@@ -138,6 +139,7 @@ class VStellarDevice {
 
  private:
   friend class StellarHost;
+  friend class EmttCoherenceAuditor;  // reads pinned ranges for eMTT audits
   VStellarDevice(StellarHost& host, RundContainer& container, Rnic& rnic,
                  Rnic::VirtualDevice hw, Hypervisor::VdbMapping vdb,
                  SimTime creation_time);

@@ -36,22 +36,28 @@ class Iommu {
     return table_.map(iova, hpa, len);
   }
 
+  /// Remove the mapping starting at `iova`. Returns kNotFound when no
+  /// mapping starts there — a double-unmap is a caller bug (a pin-lifecycle
+  /// violation the auditors flag), not a tolerated race. The IOTLB is
+  /// shot down either way: conservative full invalidation, matching the
+  /// whole-IOTLB flush real drivers issue on teardown.
   Status unmap(IoVa iova) {
-    // Drop the mapping if present; not-found is tolerated because callers
-    // (e.g. PVDMA teardown) may race with an earlier explicit unmap.
-    (void)table_.unmap(iova);
-    // Conservative: full-range IOTLB shootdown is modelled as clearing the
-    // pages of this mapping lazily; for simplicity invalidate whole IOTLB.
+    const Status s = table_.unmap(iova);
     iotlb_.clear();
+    if (!s.is_ok()) {
+      return not_found("Iommu::unmap: no mapping starts at this IoVa");
+    }
     return Status::ok();
   }
 
   /// Remove every mapping fully contained in [iova, iova+len) — used by
   /// PVDMA block teardown, where a block was registered as several
-  /// contiguous runs.
-  void unmap_range(IoVa iova, std::uint64_t len) {
-    table_.unmap_contained(iova, len);
+  /// contiguous runs. Returns the number of mappings removed: zero means
+  /// the window was already empty (a likely double-unpin).
+  std::size_t unmap_range(IoVa iova, std::uint64_t len) {
+    const std::size_t removed = table_.unmap_contained(iova, len);
     iotlb_.clear();
+    return removed;
   }
 
   bool is_mapped(IoVa iova) const { return table_.contains(iova); }

@@ -61,6 +61,15 @@ class MapCache {
 
   void erase(Gpa gpa) { blocks_.erase(block_of(gpa).value()); }
 
+  /// Visit every resident block as (block-start GPA, user count) — the
+  /// residency sweep the pin-accounting auditor performs.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const {
+    for (const auto& [start, block] : blocks_) {
+      fn(Gpa{start}, block.users);
+    }
+  }
+
   std::size_t block_count() const { return blocks_.size(); }
   std::uint64_t registered_bytes() const {
     return blocks_.size() * block_size_;

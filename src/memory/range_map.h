@@ -44,12 +44,17 @@ class RangeMap {
     return Status::ok();
   }
 
-  /// Remove every range fully contained in [src, src+len).
-  void unmap_contained(Src src, std::uint64_t len) {
+  /// Remove every range fully contained in [src, src+len). Returns how many
+  /// ranges were removed, so callers can tell an effective teardown from a
+  /// double-unmap of an already-empty window.
+  std::size_t unmap_contained(Src src, std::uint64_t len) {
+    std::size_t removed = 0;
     auto it = ranges_.lower_bound(src.value());
     while (it != ranges_.end() && it->first + it->second.len <= src.value() + len) {
       it = ranges_.erase(it);
+      ++removed;
     }
+    return removed;
   }
 
   /// Split the range containing [src, src+len) and remove exactly that

@@ -1,8 +1,9 @@
 #include "net/fabric.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <string>
+
+#include "check/check.h"
 
 namespace stellar {
 
@@ -71,8 +72,11 @@ EndpointId ClosFabric::endpoint(std::uint32_t segment, std::uint32_t host,
                                 std::uint32_t rail,
                                 std::uint32_t plane) const {
   const auto& c = config_;
-  assert(segment < c.segments && host < c.hosts_per_segment &&
-         rail < c.rails && plane < c.planes);
+  STELLAR_DCHECK(segment < c.segments && host < c.hosts_per_segment &&
+                     rail < c.rails && plane < c.planes,
+                 "endpoint(%u, %u, %u, %u) outside fabric %ux%ux%ux%u",
+                 segment, host, rail, plane, c.segments, c.hosts_per_segment,
+                 c.rails, c.planes);
   return ((segment * c.hosts_per_segment + host) * c.rails + rail) * c.planes +
          plane;
 }
@@ -143,6 +147,17 @@ std::vector<NetLink*> ClosFabric::all_tor_uplinks() {
   std::vector<NetLink*> out;
   out.reserve(tor_up_.size());
   for (auto& l : tor_up_) out.push_back(l.get());
+  return out;
+}
+
+std::vector<const NetLink*> ClosFabric::all_links() const {
+  std::vector<const NetLink*> out;
+  out.reserve(host_up_.size() + tor_down_.size() + tor_up_.size() +
+              agg_down_.size());
+  for (const auto& l : host_up_) out.push_back(l.get());
+  for (const auto& l : tor_down_) out.push_back(l.get());
+  for (const auto& l : tor_up_) out.push_back(l.get());
+  for (const auto& l : agg_down_) out.push_back(l.get());
   return out;
 }
 
@@ -221,6 +236,7 @@ Status ClosFabric::send(NetPacket&& p) {
   p.route = route_for(p.src, p.dst, p.conn_id, p.path_id);
   p.hop = 0;
   p.sent_at = sim_->now();
+  STELLAR_AUDIT_ONLY(++injected_;)
   if (trace_) trace_(p, (*p.route)[0], sim_->now());
   (*p.route)[0]->enqueue(std::move(p));
   return Status::ok();

@@ -103,8 +103,16 @@ class ClosFabric {
   std::uint64_t delivered_packets() const { return delivered_; }
   /// Packets that reached an endpoint with no registered handler.
   std::uint64_t dropped_no_handler() const { return dropped_no_handler_; }
+  /// Packets accepted by send() (STELLAR_AUDIT instrumentation; stays 0 in
+  /// audit-off builds). Never reset — feeds the conservation auditor.
+  std::uint64_t injected_packets() const { return injected_; }
+
+  /// Every egress port in the fabric (host NICs, ToR down/up, Agg down),
+  /// for whole-fabric accounting sweeps.
+  std::vector<const NetLink*> all_links() const;
 
  private:
+  friend struct FabricTestPeer;  // corruption injection in audit tests
   // Link array indices. All per (rail, plane) grouping.
   std::size_t host_up_idx(std::uint32_t s, std::uint32_t h, std::uint32_t r,
                           std::uint32_t p) const;
@@ -134,6 +142,7 @@ class ClosFabric {
   std::unordered_map<std::uint64_t, std::vector<NetLink*>> route_cache_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_no_handler_ = 0;
+  std::uint64_t injected_ = 0;
 };
 
 }  // namespace stellar

@@ -1,7 +1,5 @@
 #include "net/link.h"
 
-#include <cassert>
-
 namespace stellar {
 
 void NetLink::account_queue_change(std::uint64_t new_bytes) {
@@ -18,12 +16,15 @@ void NetLink::enqueue(NetPacket&& p) {
   if (config_.drop_probability > 0.0 &&
       rng_.chance(config_.drop_probability)) {
     ++random_drops_;
+    STELLAR_AUDIT_ONLY(++audit_ingress_drops_;)
     return;
   }
   if (queue_bytes_ + wire > config_.queue_capacity_bytes) {
     ++tail_drops_;
+    STELLAR_AUDIT_ONLY(++audit_ingress_drops_;)
     return;
   }
+  STELLAR_AUDIT_ONLY(++audit_accepted_;)
   if (!p.is_ack && queue_bytes_ + wire > config_.ecn_threshold_bytes) {
     p.ecn_marked = true;
     ++ecn_marks_;
@@ -40,7 +41,9 @@ void NetLink::enqueue(NetPacket&& p) {
 }
 
 void NetLink::start_transmission() {
-  assert(!queue_.empty() || !control_queue_.empty());
+  STELLAR_CHECK(!queue_.empty() || !control_queue_.empty(),
+                "link %s started transmitting with both queues empty",
+                name_.c_str());
   busy_ = true;
   std::deque<NetPacket>* q =
       control_queue_.empty() ? &queue_ : &control_queue_;
@@ -55,6 +58,7 @@ void NetLink::start_transmission() {
     ++packets_sent_;
     // Hand off after propagation; the wire is free for the next packet now.
     sim_->schedule_after(config_.propagation, [this, p = std::move(p)]() mutable {
+      STELLAR_AUDIT_ONLY(deliver_ ? ++audit_released_ : ++audit_sink_drops_;)
       if (deliver_) deliver_(std::move(p));
     });
     if (!queue_.empty() || !control_queue_.empty()) {

@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 
+#include "check/check.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/packet.h"
@@ -72,6 +73,23 @@ class NetLink {
 
   void reset_stats();
 
+  // -- Conservation accounting (STELLAR_AUDIT only; never reset) ------------
+  //
+  // Lifetime counters for the packet-conservation auditor: a packet offered
+  // to the link is either rejected at ingress (audit_ingress_drops), or
+  // accepted and later exactly one of released downstream
+  // (audit_released) or destroyed for lack of a sink (audit_sink_drops).
+  // Packets currently owned by the link (queued, serializing, or
+  // propagating) are the difference.
+
+  std::uint64_t audit_accepted() const { return audit_accepted_; }
+  std::uint64_t audit_released() const { return audit_released_; }
+  std::uint64_t audit_ingress_drops() const { return audit_ingress_drops_; }
+  std::uint64_t audit_sink_drops() const { return audit_sink_drops_; }
+  std::uint64_t held_packets() const {
+    return audit_accepted_ - audit_released_ - audit_sink_drops_;
+  }
+
  private:
   void start_transmission();
   void account_queue_change(std::uint64_t new_bytes);
@@ -98,6 +116,13 @@ class NetLink {
   double queue_integral_ = 0.0;     // byte-seconds
   SimTime last_change_ = SimTime::zero();
   SimTime stats_epoch_ = SimTime::zero();
+
+  // Conservation accounting (see accessors above). Only incremented when
+  // STELLAR_AUDIT instrumentation is compiled in.
+  std::uint64_t audit_accepted_ = 0;
+  std::uint64_t audit_released_ = 0;
+  std::uint64_t audit_ingress_drops_ = 0;
+  std::uint64_t audit_sink_drops_ = 0;
 };
 
 }  // namespace stellar

@@ -89,7 +89,7 @@ class HostPcie {
   struct AtsResult {
     Hpa hpa;
     SimTime latency;
-    bool iotlb_hit;
+    bool iotlb_hit = false;
   };
   StatusOr<AtsResult> ats_translate(Bdf requester, IoVa iova);
 

@@ -72,7 +72,7 @@ StatusOr<Rnic::VirtualDevice> Rnic::create_virtual_device(VmId vm) {
   if (vdevs_.size() >= config_.max_virtual_devices) {
     return resource_exhausted("Rnic: virtual device limit reached");
   }
-  std::uint64_t offset;
+  std::uint64_t offset = 0;
   if (!free_doorbells_.empty()) {
     offset = free_doorbells_.back();
     free_doorbells_.pop_back();

@@ -87,7 +87,9 @@ class Rnic {
   // -- Shared resources ---------------------------------------------------------
 
   VerbsResources& verbs() { return verbs_; }
+  const VerbsResources& verbs() const { return verbs_; }
   Mtt& mtt() { return mtt_; }
+  const Mtt& mtt() const { return mtt_; }
 
  private:
   HostPcie* pcie_;

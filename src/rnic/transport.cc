@@ -1,6 +1,6 @@
 #include "rnic/transport.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace stellar {
 
@@ -195,15 +195,13 @@ void RdmaConnection::transmit(std::uint64_t psn, const Outstanding& meta) {
   if (depart > engine_.simulator().now()) {
     engine_.simulator().schedule_at(
         depart, [this, p = std::move(p)]() mutable {
-          Status s = engine_.fabric().send(std::move(p));
-          assert(s.is_ok());
-          (void)s;
+          STELLAR_CHECK_OK(engine_.fabric().send(std::move(p)),
+                           "delayed data transmit rejected by fabric");
         });
     return;
   }
-  Status s = engine_.fabric().send(std::move(p));
-  assert(s.is_ok());
-  (void)s;
+  STELLAR_CHECK_OK(engine_.fabric().send(std::move(p)),
+                   "data transmit rejected by fabric");
 }
 
 void RdmaConnection::handle_ack(const NetPacket& ack) {
@@ -454,9 +452,8 @@ void RdmaEngine::send_ack(const NetPacket& data) {
   ack.src = self_;
   ack.dst = data.src;
   ack.path_id = data.path_id;  // reverse traffic reuses the path index
-  Status s = fabric_->send(std::move(ack));
-  assert(s.is_ok());
-  (void)s;
+  STELLAR_CHECK_OK(fabric_->send(std::move(ack)),
+                   "ACK transmit rejected by fabric");
 }
 
 }  // namespace stellar

@@ -111,6 +111,8 @@ class RdmaConnection {
 
  private:
   friend class RdmaEngine;
+  friend class TransportAuditor;    // reads QP state for invariant audits
+  friend struct TransportTestPeer;  // corruption injection in audit tests
 
   RdmaConnection(RdmaEngine& engine, std::uint64_t id, EndpointId local,
                  EndpointId remote, const TransportConfig& config);
@@ -267,6 +269,8 @@ class RdmaEngine {
 
  private:
   friend class RdmaConnection;
+  friend class TransportAuditor;    // reads receiver PSN state for audits
+  friend struct TransportTestPeer;  // corruption injection in audit tests
 
   // READ responses flow on a reverse connection whose id sets this bit.
   static constexpr std::uint64_t kReverseFlag = 1ull << 63;

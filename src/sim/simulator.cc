@@ -1,8 +1,9 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "check/check.h"
 
 namespace stellar {
 
@@ -49,7 +50,10 @@ bool Simulator::pop_live(Event& out) {
 bool Simulator::step() {
   Event ev;
   if (!pop_live(ev)) return false;
-  assert(ev.at >= now_);
+  STELLAR_CHECK(ev.at >= now_,
+                "event scheduled at %lld ps would run before now=%lld ps",
+                static_cast<long long>(ev.at.ps()),
+                static_cast<long long>(now_.ps()));
   now_ = ev.at;
   --live_events_;
   ++executed_;

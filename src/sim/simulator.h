@@ -63,7 +63,22 @@ class Simulator {
   std::uint64_t pending_events() const { return live_events_; }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Internal bookkeeping snapshot for the heap-sanity invariant auditor:
+  /// every queued entry is either pending or tombstoned, and the live-event
+  /// counter mirrors the pending-id set.
+  struct HeapStats {
+    std::size_t queued = 0;       // entries in the priority queue
+    std::size_t tombstones = 0;   // cancelled ids awaiting lazy removal
+    std::size_t pending_ids = 0;  // ids of schedulable (live) events
+    std::uint64_t live_events = 0;
+  };
+  HeapStats heap_stats() const {
+    return {queue_.size(), cancelled_.size(), pending_ids_.size(),
+            live_events_};
+  }
+
  private:
+  friend struct SimulatorTestPeer;  // corruption injection in audit tests
   struct Event {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps

@@ -1,5 +1,7 @@
 #include "virt/pvdma.h"
 
+#include "common/log.h"
+
 namespace stellar {
 
 namespace {
@@ -41,7 +43,16 @@ void Pvdma::release_dma(Gpa gpa, std::uint64_t len) {
   const Gpa first = gpa.align_down(bs);
   const Gpa last = (gpa + (len - 1)).align_down(bs);
   for (Gpa block = first; block <= last; block = block + bs) {
-    if (!cache_.contains(block)) continue;
+    if (!cache_.contains(block)) {
+      // Releasing a block that was never prepared (or already fully
+      // released) is a pin-lifecycle bug in the caller — the double-unpin
+      // class the invariant auditor flags.
+      ++double_unpins_;
+      LOG_WARN("Pvdma::release_dma: block GPA 0x%llx was never mapped "
+               "(double unpin?)",
+               static_cast<unsigned long long>(block.value()));
+      continue;
+    }
     if (cache_.release_user(block)) {
       unregister_block(block);
       cache_.erase(block);
@@ -93,7 +104,16 @@ Status Pvdma::register_block(Gpa block_start) {
 }
 
 void Pvdma::unregister_block(Gpa block_start) {
-  iommu_->unmap_range(IoVa{block_start.value()}, config_.block_size);
+  const std::size_t removed =
+      iommu_->unmap_range(IoVa{block_start.value()}, config_.block_size);
+  if (removed == 0) {
+    // The block was resident in the Map Cache yet carried no IOMMU ranges:
+    // someone already tore the window down behind our back.
+    ++double_unpins_;
+    LOG_WARN("Pvdma::unregister_block: IOMMU window for block GPA 0x%llx "
+             "was already empty (double unpin?)",
+             static_cast<unsigned long long>(block_start.value()));
+  }
 }
 
 Pvdma::DeviceAccess Pvdma::translate_for_device(Gpa gpa) {

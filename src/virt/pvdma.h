@@ -61,9 +61,15 @@ class Pvdma {
   DeviceAccess translate_for_device(Gpa gpa);
 
   const MapCache& map_cache() const { return cache_; }
+  const PvdmaConfig& config() const { return config_; }
   std::uint64_t pinned_bytes() const { return pinned_bytes_; }
   std::uint64_t blocks_registered() const { return blocks_registered_; }
   std::uint64_t stale_accesses() const { return stale_accesses_; }
+  /// Times release_dma() tried to unpin a block that was never mapped (or
+  /// already torn down), plus block teardowns that found the IOMMU window
+  /// already empty. Logged when it happens; the pin-accounting auditor
+  /// flags a nonzero count as a double-unpin bug.
+  std::uint64_t double_unpins() const { return double_unpins_; }
 
  private:
   /// Register one block in the IOMMU by walking the EPT 4 KiB pages and
@@ -78,6 +84,7 @@ class Pvdma {
   std::uint64_t pinned_bytes_ = 0;
   std::uint64_t blocks_registered_ = 0;
   std::uint64_t stale_accesses_ = 0;
+  std::uint64_t double_unpins_ = 0;
 };
 
 }  // namespace stellar

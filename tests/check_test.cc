@@ -1,0 +1,150 @@
+// STELLAR_CHECK macro family: pass-through on success, formatted reports
+// through the configurable fail handler on violation, DCHECK gating, and
+// the compiled-out audit wrapper.
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stellar {
+namespace {
+
+/// Installs a throwing handler for the test's lifetime and restores the
+/// previous one on exit, so a stray failure can never abort the test binary.
+class TrapGuard {
+ public:
+  TrapGuard()
+      : previous_(set_check_fail_handler(
+            [](const CheckFailure& f) { throw f; })) {}
+  ~TrapGuard() { set_check_fail_handler(std::move(previous_)); }
+
+ private:
+  CheckFailHandler previous_;
+};
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  TrapGuard guard;
+  int evaluations = 0;
+  STELLAR_CHECK(++evaluations == 1);
+  STELLAR_CHECK(true, "message is not even formatted on success %d", 42);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, FailingCheckReportsFileLineAndCondition) {
+  TrapGuard guard;
+  try {
+    STELLAR_CHECK(1 + 1 == 3);
+    FAIL() << "check did not trip";
+  } catch (const CheckFailure& f) {
+    EXPECT_NE(f.file, nullptr);
+    EXPECT_NE(std::string(f.file).find("check_test.cc"), std::string::npos);
+    EXPECT_GT(f.line, 0);
+    EXPECT_STREQ(f.condition, "1 + 1 == 3");
+    EXPECT_TRUE(f.message.empty());
+    EXPECT_NE(f.to_string().find("CHECK failed at "), std::string::npos);
+    EXPECT_NE(f.to_string().find("1 + 1 == 3"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, FailingCheckFormatsContextMessage) {
+  TrapGuard guard;
+  try {
+    STELLAR_CHECK(false, "psn %llu beyond window of %d", 123ull, 7);
+    FAIL() << "check did not trip";
+  } catch (const CheckFailure& f) {
+    EXPECT_EQ(f.message, "psn 123 beyond window of 7");
+    EXPECT_NE(f.to_string().find("psn 123 beyond window of 7"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckOkPassesThroughOkStatus) {
+  TrapGuard guard;
+  int evaluations = 0;
+  auto make_ok = [&]() {
+    ++evaluations;
+    return Status::ok();
+  };
+  STELLAR_CHECK_OK(make_ok());
+  EXPECT_EQ(evaluations, 1);  // expression evaluated exactly once
+}
+
+TEST(CheckTest, CheckOkReportsStatusText) {
+  TrapGuard guard;
+  try {
+    STELLAR_CHECK_OK(not_found("no such QP"), "while auditing conn %d", 4);
+    FAIL() << "check did not trip";
+  } catch (const CheckFailure& f) {
+    EXPECT_NE(f.message.find("no such QP"), std::string::npos);
+    EXPECT_NE(f.message.find("while auditing conn 4"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckOkWorksWithStatusOr) {
+  TrapGuard guard;
+  StatusOr<int> good = 7;
+  STELLAR_CHECK_OK(good);
+  StatusOr<int> bad = invalid_argument("bad length");
+  EXPECT_THROW(STELLAR_CHECK_OK(bad), CheckFailure);
+}
+
+TEST(CheckTest, SetHandlerReturnsPrevious) {
+  int first_hits = 0;
+  CheckFailHandler original = set_check_fail_handler(
+      [&first_hits](const CheckFailure&) {
+        ++first_hits;
+        throw std::runtime_error("first");
+      });
+  EXPECT_THROW(STELLAR_CHECK(false), std::runtime_error);
+  EXPECT_EQ(first_hits, 1);
+
+  // Swapping in a second handler hands back the first, still callable.
+  CheckFailHandler first = set_check_fail_handler(
+      [](const CheckFailure& f) { throw f; });
+  EXPECT_THROW(STELLAR_CHECK(false), CheckFailure);
+  ASSERT_TRUE(static_cast<bool>(first));
+
+  set_check_fail_handler(std::move(original));  // restore default
+}
+
+TEST(CheckDeathTest, DefaultHandlerAborts) {
+  EXPECT_DEATH(STELLAR_CHECK(false, "fatal by default"),
+               "CHECK failed at .*fatal by default");
+}
+
+TEST(CheckDeathTest, HandlerThatReturnsStillAborts) {
+  // A handler that neither throws nor longjmps must not let execution
+  // continue past a violated invariant.
+  EXPECT_DEATH(
+      {
+        set_check_fail_handler([](const CheckFailure&) { /* swallow */ });
+        STELLAR_CHECK(false, "swallowed");
+      },
+      "CHECK failed at .*swallowed");
+}
+
+TEST(CheckTest, DcheckActiveInAuditOrDebugBuilds) {
+#if STELLAR_AUDIT_ENABLED || !defined(NDEBUG)
+  TrapGuard guard;
+  EXPECT_THROW(STELLAR_DCHECK(false, "dchecked"), CheckFailure);
+#else
+  // Compiled out: the condition must not even be evaluated.
+  int evaluations = 0;
+  STELLAR_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(CheckTest, AuditOnlyWrapperMatchesBuildFlag) {
+  int counter = 0;
+  STELLAR_AUDIT_ONLY(++counter;)
+#if STELLAR_AUDIT_ENABLED
+  EXPECT_EQ(counter, 1);
+#else
+  EXPECT_EQ(counter, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace stellar

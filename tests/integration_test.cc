@@ -4,6 +4,9 @@
 // the end-to-end flow a production job would take.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "check/auditors.h"
 #include "collective/allreduce.h"
 #include "core/cluster.h"
 #include "core/stellar.h"
@@ -122,6 +125,72 @@ TEST(IntegrationTest, TrafficClassesCoexist) {
       32.0 * 8 * 1024 * 1024 * 1024 / (cluster.simulator().now() - t0).sec() /
       1e9 / 1024;
   EXPECT_GT(gbps, 180.0);  // full rate, rule churn irrelevant
+}
+
+TEST(IntegrationTest, InvariantAuditorsRunCleanAcrossTheStack) {
+  // Host side: boot a tenant and register host memory so the pin-accounting
+  // and eMTT-coherence auditors have real pinned state to walk.
+  StellarHostConfig host_cfg;
+  host_cfg.pcie.main_memory_bytes = 128_GiB;
+  StellarHost host(host_cfg);
+  RundContainer tenant(1, "audited", 16_GiB);
+  ASSERT_TRUE(host.boot(tenant).is_ok());
+  auto dev = host.create_vstellar_device(tenant, 0);
+  ASSERT_TRUE(dev.is_ok());
+  auto buf = tenant.alloc(16_MiB, kPage2M);
+  ASSERT_TRUE(buf.is_ok());
+  auto mr = dev.value()->register_memory(Gva{0x10000000}, 16_MiB,
+                                         MemoryOwner::kHostDram,
+                                         buf.value().value());
+  ASSERT_TRUE(mr.is_ok());
+
+  // Fabric side: a cross-segment ring allreduce generating real traffic.
+  ClusterConfig cfg;
+  cfg.fabric.segments = 2;
+  cfg.fabric.hosts_per_segment = 4;
+  cfg.fabric.aggs_per_plane = 4;
+  StellarCluster cluster(cfg);
+  std::vector<EndpointId> ranks;
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    ranks.push_back(cluster.endpoint(0, h));
+    ranks.push_back(cluster.endpoint(1, h));
+  }
+  AllReduceConfig ar_cfg;
+  ar_cfg.data_bytes = 8_MiB;
+  ar_cfg.transport = cluster.config().transport;
+  RingAllReduce ar(cluster.fleet(), ranks, ar_cfg);
+
+  // All five auditor kinds over the live objects (one transport auditor per
+  // engine). trap_on_finding stays ON: any violation aborts the test.
+  AuditRegistry registry;
+  registry.add(std::make_unique<FabricConservationAuditor>(cluster.fabric()));
+  Hypervisor& hyp = host.hypervisor();
+  registry.add(std::make_unique<PinAccountingAuditor>(
+      hyp.pvdma(tenant.id()), host.pcie().iommu(), hyp.ept(tenant.id())));
+  registry.add(std::make_unique<EmttCoherenceAuditor>(host));
+  cluster.fleet().for_each_engine([&](RdmaEngine& engine) {
+    registry.add(std::make_unique<TransportAuditor>(engine));
+  });
+  registry.add(std::make_unique<SimulatorAuditor>(cluster.simulator()));
+  EXPECT_EQ(registry.auditor_count(), 4 + ranks.size());
+
+  registry.attach_periodic(cluster.simulator(), SimTime::micros(50));
+  bool done = false;
+  ar.start([&] { done = true; });
+  cluster.run();
+  ASSERT_TRUE(done);
+
+  // Periodic firings during the collective plus one drain-time audit, all
+  // clean. run_all() here double-checks the quiesced end state.
+  EXPECT_GT(registry.runs(), 1u);
+  EXPECT_EQ(registry.total_findings(), 0u);
+  registry.detach();
+  const AuditReport report = registry.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GT(report.checks_performed(), 0u);
+
+  ASSERT_TRUE(dev.value()->deregister_memory(mr.value().key).is_ok());
+  ASSERT_TRUE(host.shutdown(tenant).is_ok());
 }
 
 }  // namespace

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Full CI gate for the repo. Runs, in order:
+#   1. default build (STELLAR_AUDIT=ON) + the complete test suite
+#   2. the audit-labelled invariant tests on their own (fast signal)
+#   3. ASan+UBSan build + the complete test suite
+#   4. clang-tidy over src/ (skipped gracefully when not installed)
+#   5. STELLAR_AUDIT=OFF build of the bench binaries — proves the audit
+#      instrumentation compiles out of hot paths entirely
+#
+#   tools/ci_checks.sh [--skip-san]
+#
+# --skip-san drops step 3 (the sanitizer rebuild roughly doubles the wall
+# time; the default gate runs everything).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+jobs="$(nproc 2> /dev/null || echo 2)"
+
+skip_san=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-san) skip_san=1 ;;
+    *)
+      echo "ci_checks: unknown argument '$arg'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+step() { printf '\n=== ci_checks: %s ===\n' "$*"; }
+
+step "default build (STELLAR_AUDIT=ON)"
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build build -j"$jobs"
+
+step "full test suite"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+step "invariant audit suite (ctest -L audit)"
+ctest --test-dir build --output-on-failure -L audit
+
+if [ "$skip_san" -eq 0 ]; then
+  step "ASan+UBSan build + full test suite"
+  cmake -B build-san -S . -DSTELLAR_SANITIZE=address,undefined
+  cmake --build build-san -j"$jobs"
+  ctest --test-dir build-san --output-on-failure -j"$jobs"
+else
+  step "sanitizer pass skipped (--skip-san)"
+fi
+
+step "clang-tidy"
+tools/run_tidy.sh "$repo_root/build"
+
+step "bench build with audits compiled out (STELLAR_AUDIT=OFF)"
+cmake -B build-bench -S . -DSTELLAR_AUDIT=OFF
+cmake --build build-bench -j"$jobs"
+
+echo
+echo "ci_checks: all gates passed"

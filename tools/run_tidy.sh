@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every source file in src/ using the repo's .clang-tidy
+# configuration and the compile_commands.json of an existing build tree.
+#
+#   tools/run_tidy.sh [build-dir]      (default: build)
+#
+# Exits 0 when clang-tidy is unavailable (e.g. gcc-only containers) so CI
+# sequences can include this unconditionally; exits non-zero on findings.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy_bin=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    tidy_bin="$candidate"
+    break
+  fi
+done
+
+if [ -z "$tidy_bin" ]; then
+  echo "run_tidy: clang-tidy not installed; skipping (checks documented in .clang-tidy)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+cd "$repo_root"
+files=$(find src -name '*.cc' | sort)
+echo "run_tidy: $tidy_bin over $(echo "$files" | wc -l) files"
+# shellcheck disable=SC2086
+"$tidy_bin" -p "$build_dir" --quiet $files
