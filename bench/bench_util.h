@@ -1,9 +1,12 @@
 // Shared helpers for the figure-reproduction benches: consistent table
-// printing so bench output can be diffed against EXPERIMENTS.md.
+// printing so bench output can be diffed against EXPERIMENTS.md, plus a
+// minimal JSON result writer so tooling can consume runs without scraping
+// the tables.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stellar::bench {
@@ -24,5 +27,77 @@ inline std::string fmt(double v, int decimals = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
 }
+
+// -- JSON result emission -----------------------------------------------------
+//
+// Each bench that wants machine-readable output collects flat rows of
+// (key, value-fragment) pairs and writes one BENCH_<name>.json file next to
+// its working directory. Values are raw JSON fragments: use jstr()/jnum()/
+// jint() to build them, so quoting and formatting stay consistent.
+
+inline std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+inline std::string jnum(double v, int decimals = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string jint(long long v) { return std::to_string(v); }
+
+class JsonResult {
+ public:
+  using Row = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonResult(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_row(Row row) { rows_.push_back(std::move(row)); }
+
+  std::string to_string() const {
+    std::string out = "{\n  \"bench\": " + jstr(bench_) + ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {";
+      for (std::size_t k = 0; k < rows_[i].size(); ++k) {
+        if (k > 0) out += ", ";
+        out += jstr(rows_[i][k].first) + ": " + rows_[i][k].second;
+      }
+      out += "}";
+    }
+    out += rows_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+  }
+
+  /// Write BENCH_<name>.json (or an explicit path). Returns false and warns
+  /// on stderr if the file cannot be written; the bench still succeeds.
+  bool write(const std::string& path = "") const {
+    const std::string target =
+        path.empty() ? "BENCH_" + bench_ + ".json" : path;
+    std::FILE* f = std::fopen(target.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", target.c_str());
+      return false;
+    }
+    const std::string body = to_string();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("\n[json] wrote %s (%zu rows)\n", target.c_str(),
+                rows_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace stellar::bench

@@ -76,6 +76,7 @@ int main() {
   const MultipathAlgo algos[] = {MultipathAlgo::kSinglePath,
                                  MultipathAlgo::kRoundRobin,
                                  MultipathAlgo::kObs};
+  JsonResult json("fig11");
   for (std::uint16_t paths : {4, 128}) {
     std::printf("\n--- %u paths ---\n", paths);
     print_row({"algorithm", "0% loss", "1% loss", "3% loss", "3% degr."});
@@ -86,8 +87,16 @@ int main() {
       print_row({multipath_algo_name(algo), fmt(clean, 1), fmt(loss1, 1),
                  fmt(loss3, 1),
                  fmt(100.0 * (1.0 - loss3 / clean), 1) + "%"});
+      json.add_row({{"paths", jint(paths)},
+                    {"algorithm", jstr(multipath_algo_name(algo))},
+                    {"bw_clean_gbps", jnum(clean, 2)},
+                    {"bw_loss1_gbps", jnum(loss1, 2)},
+                    {"bw_loss3_gbps", jnum(loss3, 2)},
+                    {"degradation_pct",
+                     jnum(100.0 * (1.0 - loss3 / clean), 2)}});
     }
   }
+  json.write();
   std::printf(
       "\nScale note: with 16 ranks over 32 aggs, every connection's traffic\n"
       "funnels through the one lossy ToR ~30x more than in the paper's\n"

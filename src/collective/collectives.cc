@@ -40,6 +40,10 @@ RingCollective::RingCollective(EngineFleet& fleet,
                                   conn.status().to_string());
     }
     to_next_[i] = conn.value();
+    // Fail fast on a dead QP: without this the ring would silently stall
+    // forever once any connection exhausts its retry budget.
+    to_next_[i]->set_on_error(
+        [this](const Status& reason) { abort_with(reason); });
     fleet_->at(ranks_[next])
         .set_conn_message_handler(
             to_next_[i]->id(), [this, next](const RxMessage& m) {
@@ -52,6 +56,7 @@ void RingCollective::start(std::function<void()> on_complete) {
   STELLAR_CHECK(!running_, "collective started while already running");
   running_ = true;
   finished_ranks_ = 0;
+  status_ = Status::ok();
   on_complete_ = std::move(on_complete);
   std::fill(sent_.begin(), sent_.end(), 0);
   std::fill(recv_.begin(), recv_.end(), 0);
@@ -86,6 +91,19 @@ void RingCollective::on_slice_received(std::size_t rank, std::uint32_t lane) {
       on_complete_ = {};
       cb();
     }
+  }
+}
+
+void RingCollective::abort_with(const Status& reason) {
+  if (!status_.is_ok()) return;  // first failure wins
+  status_ = reason;
+  if (!running_) return;
+  running_ = false;
+  last_duration_ = fleet_->simulator().now() - started_at_;
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = {};
+    cb();
   }
 }
 
@@ -134,6 +152,8 @@ ChainBroadcast::ChainBroadcast(EngineFleet& fleet,
                                   conn.status().to_string());
     }
     to_next_[i] = conn.value();
+    to_next_[i]->set_on_error(
+        [this](const Status& reason) { abort_with(reason); });
     const std::size_t next = i + 1;
     fleet_->at(ranks_[next])
         .set_conn_message_handler(conn.value()->id(),
@@ -146,6 +166,7 @@ ChainBroadcast::ChainBroadcast(EngineFleet& fleet,
 void ChainBroadcast::start(std::function<void()> on_complete) {
   STELLAR_CHECK(!running_, "collective started while already running");
   running_ = true;
+  status_ = Status::ok();
   on_complete_ = std::move(on_complete);
   std::fill(received_.begin(), received_.end(), 0);
   started_at_ = fleet_->simulator().now();
@@ -171,6 +192,19 @@ void ChainBroadcast::on_slice_received(std::size_t rank, std::uint32_t lane) {
       on_complete_ = {};
       cb();
     }
+  }
+}
+
+void ChainBroadcast::abort_with(const Status& reason) {
+  if (!status_.is_ok()) return;
+  status_ = reason;
+  if (!running_) return;
+  running_ = false;
+  last_duration_ = fleet_->simulator().now() - started_at_;
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = {};
+    cb();
   }
 }
 
@@ -235,6 +269,8 @@ void HierarchicalAllReduce::start(std::function<void()> on_complete) {
   });
 }
 
+Status HierarchicalAllReduce::status() const { return inter_host_->status(); }
+
 double HierarchicalAllReduce::bus_bandwidth_gbps() const {
   if (last_duration_ <= SimTime::zero()) return 0.0;
   // NCCL accounting for the full (un-split) gradient across all GPUs.
@@ -266,6 +302,8 @@ AllToAll::AllToAll(EngineFleet& fleet, std::vector<EndpointId> ranks,
         throw std::invalid_argument("AllToAll: " + conn.status().to_string());
       }
       conns_[i * n + j] = conn.value();
+      conns_[i * n + j]->set_on_error(
+          [this](const Status& reason) { abort_with(reason); });
       fleet_->at(ranks_[j])
           .set_conn_message_handler(conn.value()->id(),
                                     [this, j](const RxMessage&) {
@@ -279,6 +317,7 @@ void AllToAll::start(std::function<void()> on_complete) {
   STELLAR_CHECK(!running_, "collective started while already running");
   running_ = true;
   finished_ranks_ = 0;
+  status_ = Status::ok();
   on_complete_ = std::move(on_complete);
   std::fill(received_.begin(), received_.end(), 0);
   started_at_ = fleet_->simulator().now();
@@ -294,6 +333,19 @@ void AllToAll::on_shard_received(std::size_t rank) {
   if (!running_) return;
   if (++received_[rank] < ranks_.size() - 1) return;
   if (++finished_ranks_ < ranks_.size()) return;
+  running_ = false;
+  last_duration_ = fleet_->simulator().now() - started_at_;
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = {};
+    cb();
+  }
+}
+
+void AllToAll::abort_with(const Status& reason) {
+  if (!status_.is_ok()) return;
+  status_ = reason;
+  if (!running_) return;
   running_ = false;
   last_duration_ = fleet_->simulator().now() - started_at_;
   if (on_complete_) {

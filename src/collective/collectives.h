@@ -31,9 +31,14 @@ class RingCollective {
   RingCollective(EngineFleet& fleet, std::vector<EndpointId> ranks,
                  CollectiveConfig config, std::uint32_t phases);
 
+  /// `on_complete` fires exactly once per start(): on success, or
+  /// immediately when any ring connection enters the error state (fail
+  /// fast — check status() to tell the two apart).
   void start(std::function<void()> on_complete = {});
 
   bool running() const { return running_; }
+  /// OK while healthy/finished; the first connection error otherwise.
+  Status status() const { return status_; }
   SimTime last_duration() const { return last_duration_; }
   std::uint64_t chunk_bytes() const { return chunk_bytes_; }
   std::uint64_t slice_bytes() const { return slice_bytes_; }
@@ -50,6 +55,7 @@ class RingCollective {
  private:
   void on_slice_received(std::size_t rank, std::uint32_t lane);
   void send_unit(std::size_t rank, std::uint32_t lane);
+  void abort_with(const Status& reason);
 
   EngineFleet* fleet_;
   std::vector<EndpointId> ranks_;
@@ -68,6 +74,7 @@ class RingCollective {
   std::size_t finished_ranks_ = 0;
   SimTime started_at_;
   SimTime last_duration_;
+  Status status_;
   std::function<void()> on_complete_;
 
   std::uint32_t& sent_at(std::size_t rank, std::uint32_t lane) {
@@ -103,6 +110,8 @@ class ChainBroadcast {
   void start(std::function<void()> on_complete = {});
 
   bool running() const { return running_; }
+  /// OK while healthy/finished; the first connection error otherwise.
+  Status status() const { return status_; }
   SimTime last_duration() const { return last_duration_; }
   std::uint64_t slice_bytes() const { return slice_bytes_; }
 
@@ -111,6 +120,7 @@ class ChainBroadcast {
 
  private:
   void on_slice_received(std::size_t rank, std::uint32_t lane);
+  void abort_with(const Status& reason);
 
   EngineFleet* fleet_;
   std::vector<EndpointId> ranks_;
@@ -124,6 +134,7 @@ class ChainBroadcast {
   bool running_ = false;
   SimTime started_at_;
   SimTime last_duration_;
+  Status status_;
   std::function<void()> on_complete_;
 };
 
@@ -157,6 +168,8 @@ class HierarchicalAllReduce {
 
   void start(std::function<void()> on_complete = {});
 
+  /// Status of the inter-host ring (the only fabric-touching stage).
+  Status status() const;
   SimTime last_duration() const { return last_duration_; }
   /// Bus bandwidth per GPU as NCCL reports it.
   double bus_bandwidth_gbps() const;
@@ -180,6 +193,8 @@ class AllToAll {
   void start(std::function<void()> on_complete = {});
 
   bool running() const { return running_; }
+  /// OK while healthy/finished; the first connection error otherwise.
+  Status status() const { return status_; }
   SimTime last_duration() const { return last_duration_; }
   std::uint64_t shard_bytes() const { return shard_bytes_; }
 
@@ -188,6 +203,7 @@ class AllToAll {
 
  private:
   void on_shard_received(std::size_t rank);
+  void abort_with(const Status& reason);
 
   EngineFleet* fleet_;
   std::vector<EndpointId> ranks_;
@@ -202,6 +218,7 @@ class AllToAll {
   std::size_t finished_ranks_ = 0;
   SimTime started_at_;
   SimTime last_duration_;
+  Status status_;
   std::function<void()> on_complete_;
 };
 

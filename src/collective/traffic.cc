@@ -51,6 +51,12 @@ PermutationTraffic::PermutationTraffic(EngineFleet& fleet,
                                   conn.status().to_string());
     }
     conns_.push_back(conn.value());
+    // A flow whose QP dies stops reposting instead of waiting on a
+    // completion that will never fire; the first error is kept for callers.
+    conns_.back()->set_on_error([this](const Status& reason) {
+      ++failed_flows_;
+      if (status_.is_ok()) status_ = reason;
+    });
   }
 }
 
@@ -62,7 +68,7 @@ void PermutationTraffic::start() {
 void PermutationTraffic::stop() { running_ = false; }
 
 void PermutationTraffic::repost(std::size_t flow) {
-  if (!running_) return;
+  if (!running_ || conns_[flow]->in_error()) return;
   conns_[flow]->post_write(config_.message_bytes,
                            [this, flow] { repost(flow); });
 }

@@ -39,6 +39,11 @@ class PermutationTraffic {
   std::size_t flow_count() const { return conns_.size(); }
   const std::vector<RdmaConnection*>& connections() const { return conns_; }
 
+  /// OK while every flow is healthy; the first QP error otherwise. A dead
+  /// flow stops reposting (fail fast) while the others keep streaming.
+  Status status() const { return status_; }
+  std::size_t failed_flows() const { return failed_flows_; }
+
  private:
   void repost(std::size_t flow);
 
@@ -46,6 +51,8 @@ class PermutationTraffic {
   PermutationConfig config_;
   std::vector<RdmaConnection*> conns_;
   bool running_ = false;
+  Status status_;
+  std::size_t failed_flows_ = 0;
 };
 
 /// Drives a restartable task (e.g. a RingAllReduce) in on/off cycles.

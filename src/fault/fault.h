@@ -1,0 +1,134 @@
+// Cross-layer fault injection (§7.2 failure mitigation, exercised end to
+// end): a FaultInjector executes a seeded, time-ordered FaultPlan against a
+// live simulation —
+//
+//   * hard link failures (down / up / flapping), with the queued packets
+//     either voided or drained under exact conservation accounting;
+//   * whole-switch failures via the fabric's switch port groups (every
+//     cable touching the switch dies at once);
+//   * transient degradation windows (loss probability and/or added
+//     propagation latency on one link, restored afterwards);
+//   * RNIC device resets (all QPs to error, an ingress-black window);
+//   * control-path resource pressure (PVDMA pins fail with
+//     kResourceExhausted for a window; the hypervisor retry path backs off).
+//
+// Plans are plain data, so tests and benches script scenarios declaratively
+// and replay them byte-for-byte: the same plan and seed produce identical
+// fault telemetry on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "fault/telemetry.h"
+#include "net/fabric.h"
+#include "rnic/transport.h"
+#include "sim/simulator.h"
+#include "virt/pvdma.h"
+
+namespace stellar {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,     // hard-fail one link (stays down until kLinkUp)
+  kLinkUp,       // restore one link
+  kLinkFlap,     // `flaps` down/up cycles on one link
+  kSwitchDown,   // hard-fail every port of one switch
+  kSwitchUp,     // restore every port of one switch
+  kDegrade,      // loss/latency window on one link, auto-restored
+  kRnicReset,    // device reset on one registered engine
+  kPinPressure,  // PVDMA pin pressure window on one registered Pvdma
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Which per-port link array a LinkRef addresses.
+enum class LinkLayer : std::uint8_t { kHostUp, kTorDown, kTorUp, kAggDown };
+
+/// Coordinates of one fabric egress port. Field meaning depends on layer:
+///   kHostUp / kTorDown: {segment, host, rail, plane}
+///   kTorUp:             {segment, rail, plane, agg}
+///   kAggDown:           {agg, segment, rail, plane}
+struct LinkRef {
+  LinkLayer layer = LinkLayer::kTorUp;
+  std::uint32_t a = 0, b = 0, c = 0, d = 0;
+};
+
+/// One whole switch: an aggregation switch (by index within the plane) or a
+/// ToR (by segment/rail/plane).
+struct SwitchRef {
+  bool is_tor = false;
+  std::uint32_t agg = 0;                           // !is_tor
+  std::uint32_t segment = 0, rail = 0, plane = 0;  // is_tor
+};
+
+struct FaultEvent {
+  SimTime at;
+  FaultKind kind = FaultKind::kLinkDown;
+  /// Telemetry tag; pairs a down with its up and a window with its clear.
+  std::string label;
+
+  LinkRef link;    // kLinkDown/kLinkUp/kLinkFlap/kDegrade
+  SwitchRef sw;    // kSwitchDown/kSwitchUp
+  LinkDrainMode drain = LinkDrainMode::kVoid;
+
+  /// kLinkFlap: down time per cycle. kDegrade/kRnicReset/kPinPressure:
+  /// window length.
+  SimTime duration;
+  std::uint32_t flaps = 1;   // kLinkFlap: number of down/up cycles
+  SimTime flap_period;       // kLinkFlap: cycle start-to-start (>= duration)
+
+  double degrade_loss = 0.0;     // kDegrade: drop probability in the window
+  SimTime degrade_latency;       // kDegrade: extra propagation in the window
+
+  std::uint32_t engine = 0;  // kRnicReset: index into registered engines
+  std::uint32_t pvdma = 0;   // kPinPressure: index into registered Pvdmas
+};
+
+struct FaultPlan {
+  /// Recorded into the telemetry; reserved as the jitter source for
+  /// randomized plans. Two runs with the same plan and seed are identical.
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, ClosFabric& fabric,
+                FaultTelemetry* telemetry = nullptr)
+      : sim_(&sim), fabric_(&fabric), telemetry_(telemetry) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Targets for kRnicReset / kPinPressure, addressed by registration index.
+  void register_engine(RdmaEngine* engine) { engines_.push_back(engine); }
+  void register_pvdma(Pvdma* pvdma) { pvdmas_.push_back(pvdma); }
+
+  /// Validate every event and schedule the whole plan. Events at equal
+  /// timestamps execute in plan order (the simulator's FIFO tie-break).
+  Status arm(const FaultPlan& plan);
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  Status validate(const FaultEvent& e) const;
+  void execute(const FaultEvent& e);
+  void flap_cycle(FaultEvent e, std::uint32_t remaining);
+  NetLink& resolve(const LinkRef& ref) const;
+  std::vector<NetLink*> switch_ports(const SwitchRef& ref) const;
+
+  void note_fault(const FaultEvent& e);
+  void note_cleared(const std::string& label);
+
+  Simulator* sim_;
+  ClosFabric* fabric_;
+  FaultTelemetry* telemetry_;
+  std::vector<RdmaEngine*> engines_;
+  std::vector<Pvdma*> pvdmas_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace stellar

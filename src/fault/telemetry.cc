@@ -1,0 +1,203 @@
+#include "fault/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stellar {
+
+namespace {
+
+// Recovery is declared when an interval's goodput reaches this fraction of
+// the pre-fault baseline rate.
+constexpr double kRecoveredFraction = 0.9;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void FaultTelemetry::attach(Simulator& sim, SimTime period) {
+  detach();
+  sim_ = &sim;
+  period_ = period;
+  // Take the t=attach baseline sample immediately, then sample every period.
+  samples_.push_back(snapshot());
+  pending_ = sim_->schedule_after(period_, [this] { fire(); });
+}
+
+void FaultTelemetry::detach() {
+  if (sim_ != nullptr && pending_.valid()) {
+    sim_->cancel(pending_);
+  }
+  pending_ = EventHandle{};
+  sim_ = nullptr;
+}
+
+void FaultTelemetry::fire() {
+  pending_ = EventHandle{};
+  samples_.push_back(snapshot());
+  // Re-arm only while other work is queued: the firing that observes an
+  // empty queue recorded the drained end state, and the simulation may end.
+  if (sim_ != nullptr && !sim_->empty()) {
+    pending_ = sim_->schedule_after(period_, [this] { fire(); });
+  }
+}
+
+FaultTelemetry::Sample FaultTelemetry::snapshot() const {
+  Sample s;
+  s.at = sim_ != nullptr ? sim_->now() : SimTime::zero();
+  for (const RdmaEngine* engine : engines_) {
+    s.goodput_bytes += engine->rx_goodput_bytes();
+    for (const auto& conn : engine->connections()) {
+      s.timeouts += conn->timeouts();
+      s.retransmits += conn->retransmits();
+      s.errored_qps += conn->in_error() ? 1 : 0;
+      s.blacklisted_paths += conn->blacklisted_paths();
+    }
+  }
+  return s;
+}
+
+void FaultTelemetry::on_fault(std::string label, std::string kind,
+                              SimTime at) {
+  FaultRecord rec;
+  rec.label = std::move(label);
+  rec.kind = std::move(kind);
+  rec.injected_at = at;
+  faults_.push_back(std::move(rec));
+}
+
+void FaultTelemetry::on_fault_cleared(const std::string& label, SimTime at) {
+  // Clear the most recent un-cleared record with this label (flap cycles
+  // reuse one record: only the final up marks it cleared).
+  for (auto it = faults_.rbegin(); it != faults_.rend(); ++it) {
+    if (it->label == label && !it->cleared) {
+      it->cleared = true;
+      it->cleared_at = at;
+      return;
+    }
+  }
+}
+
+std::vector<FaultTelemetry::EventAnalysis> FaultTelemetry::analyze() const {
+  std::vector<EventAnalysis> out;
+  out.reserve(faults_.size());
+  for (const FaultRecord& fault : faults_) {
+    EventAnalysis ea;
+    ea.label = fault.label;
+    ea.kind = fault.kind;
+    ea.injected_at = fault.injected_at;
+
+    // Pre-fault baseline: mean per-second goodput over the non-idle
+    // intervals that completed before the injection.
+    double baseline = 0.0;
+    std::uint64_t pre_intervals = 0;
+    for (std::size_t i = 1; i < samples_.size(); ++i) {
+      const Sample& prev = samples_[i - 1];
+      const Sample& cur = samples_[i];
+      if (cur.at > fault.injected_at) break;
+      const double secs = (cur.at - prev.at).sec();
+      if (secs <= 0.0 || cur.goodput_bytes == prev.goodput_bytes) continue;
+      baseline += static_cast<double>(cur.goodput_bytes - prev.goodput_bytes) /
+                  secs;
+      ++pre_intervals;
+    }
+    if (pre_intervals > 0) baseline /= static_cast<double>(pre_intervals);
+
+    double worst_rate = baseline;
+    for (std::size_t i = 1; i < samples_.size(); ++i) {
+      const Sample& prev = samples_[i - 1];
+      const Sample& cur = samples_[i];
+      if (cur.at <= fault.injected_at) continue;
+
+      // Detection: the first post-injection sample showing new transport
+      // distress (timeouts, retransmits, or QPs moving to error).
+      if (!ea.detected && (cur.timeouts > prev.timeouts ||
+                           cur.retransmits > prev.retransmits ||
+                           cur.errored_qps > prev.errored_qps)) {
+        ea.detected = true;
+        ea.detect_latency = cur.at - fault.injected_at;
+      }
+
+      const double secs = (cur.at - prev.at).sec();
+      if (secs <= 0.0) continue;
+      const double rate =
+          static_cast<double>(cur.goodput_bytes - prev.goodput_bytes) / secs;
+      if (!ea.recovered) worst_rate = std::min(worst_rate, rate);
+      if (!ea.recovered && baseline > 0.0 &&
+          rate >= kRecoveredFraction * baseline) {
+        ea.recovered = true;
+        ea.recover_latency = cur.at - fault.injected_at;
+      }
+    }
+    ea.goodput_dip = baseline > 0.0 ? worst_rate / baseline : 1.0;
+    if (ea.goodput_dip < 0.0) ea.goodput_dip = 0.0;
+    out.push_back(std::move(ea));
+  }
+  return out;
+}
+
+std::string FaultTelemetry::to_json() const {
+  std::string out = "{\n  \"seed\": " + std::to_string(seed_) + ",\n";
+
+  out += "  \"faults\": [";
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const FaultRecord& f = faults_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"label\": \"" + json_escape(f.label) + "\", \"kind\": \"" +
+           json_escape(f.kind) +
+           "\", \"injected_ps\": " + std::to_string(f.injected_at.ps()) +
+           ", \"cleared\": " + (f.cleared ? "true" : "false") +
+           ", \"cleared_ps\": " + std::to_string(f.cleared_at.ps()) + "}";
+  }
+  out += faults_.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"samples\": [";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"at_ps\": " + std::to_string(s.at.ps()) +
+           ", \"goodput_bytes\": " + std::to_string(s.goodput_bytes) +
+           ", \"timeouts\": " + std::to_string(s.timeouts) +
+           ", \"retransmits\": " + std::to_string(s.retransmits) +
+           ", \"errored_qps\": " + std::to_string(s.errored_qps) +
+           ", \"blacklisted_paths\": " + std::to_string(s.blacklisted_paths) +
+           "}";
+  }
+  out += samples_.empty() ? "],\n" : "\n  ],\n";
+
+  const auto analysis = analyze();
+  out += "  \"analysis\": [";
+  for (std::size_t i = 0; i < analysis.size(); ++i) {
+    const EventAnalysis& a = analysis[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"label\": \"" + json_escape(a.label) + "\", \"kind\": \"" +
+           json_escape(a.kind) +
+           "\", \"injected_ps\": " + std::to_string(a.injected_at.ps()) +
+           ", \"detected\": " + (a.detected ? "true" : "false") +
+           ", \"detect_latency_ps\": " +
+           std::to_string(a.detect_latency.ps()) +
+           ", \"recovered\": " + (a.recovered ? "true" : "false") +
+           ", \"recover_latency_ps\": " +
+           std::to_string(a.recover_latency.ps()) +
+           ", \"goodput_dip\": " + fmt_double(a.goodput_dip) + "}";
+  }
+  out += analysis.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace stellar

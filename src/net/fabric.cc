@@ -131,6 +131,14 @@ NetLink& ClosFabric::agg_downlink(std::uint32_t agg, std::uint32_t segment,
                                   std::uint32_t rail, std::uint32_t plane) {
   return *agg_down_.at(agg_down_idx(agg, segment, rail, plane));
 }
+NetLink& ClosFabric::host_uplink(std::uint32_t segment, std::uint32_t host,
+                                 std::uint32_t rail, std::uint32_t plane) {
+  return *host_up_.at(host_up_idx(segment, host, rail, plane));
+}
+NetLink& ClosFabric::tor_downlink(std::uint32_t segment, std::uint32_t host,
+                                  std::uint32_t rail, std::uint32_t plane) {
+  return *tor_down_.at(tor_down_idx(segment, host, rail, plane));
+}
 
 std::vector<NetLink*> ClosFabric::tor_uplinks(std::uint32_t segment,
                                               std::uint32_t rail,
@@ -168,11 +176,57 @@ std::vector<NetLink*> ClosFabric::all_host_links() {
   return out;
 }
 
+std::vector<NetLink*> ClosFabric::agg_switch_ports(std::uint32_t agg) {
+  const auto& c = config_;
+  STELLAR_CHECK(agg < c.aggs_per_plane, "agg_switch_ports(%u): only %u aggs",
+                agg, c.aggs_per_plane);
+  std::vector<NetLink*> out;
+  out.reserve(2ull * c.segments * c.rails * c.planes);
+  for (std::uint32_t s = 0; s < c.segments; ++s) {
+    for (std::uint32_t r = 0; r < c.rails; ++r) {
+      for (std::uint32_t p = 0; p < c.planes; ++p) {
+        out.push_back(agg_down_[agg_down_idx(agg, s, r, p)].get());
+        out.push_back(tor_up_[tor_up_idx(s, r, p, agg)].get());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NetLink*> ClosFabric::tor_switch_ports(std::uint32_t segment,
+                                                   std::uint32_t rail,
+                                                   std::uint32_t plane) {
+  const auto& c = config_;
+  STELLAR_CHECK(segment < c.segments && rail < c.rails && plane < c.planes,
+                "tor_switch_ports(%u, %u, %u) outside fabric", segment, rail,
+                plane);
+  std::vector<NetLink*> out;
+  out.reserve(2ull * (c.hosts_per_segment + c.aggs_per_plane));
+  for (std::uint32_t h = 0; h < c.hosts_per_segment; ++h) {
+    out.push_back(tor_down_[tor_down_idx(segment, h, rail, plane)].get());
+    out.push_back(host_up_[host_up_idx(segment, h, rail, plane)].get());
+  }
+  for (std::uint32_t a = 0; a < c.aggs_per_plane; ++a) {
+    out.push_back(tor_up_[tor_up_idx(segment, rail, plane, a)].get());
+    out.push_back(agg_down_[agg_down_idx(a, segment, rail, plane)].get());
+  }
+  return out;
+}
+
 void ClosFabric::reset_stats() {
   for (auto& l : host_up_) l->reset_stats();
   for (auto& l : tor_down_) l->reset_stats();
   for (auto& l : tor_up_) l->reset_stats();
   for (auto& l : agg_down_) l->reset_stats();
+  // Re-baseline the conservation epoch to match the per-link resets: the
+  // packets still held by links are the only ones the new epoch inherits,
+  // so they seed the injected count; terminal outcomes start from zero.
+  STELLAR_AUDIT_ONLY(std::uint64_t held = 0;
+                     for (const NetLink* l : all_links()) {
+                       held += l->held_packets();
+                     } injected_ = held;)
+  delivered_ = 0;
+  dropped_no_handler_ = 0;
 }
 
 std::uint32_t ClosFabric::physical_paths(EndpointId src,

@@ -86,6 +86,26 @@ class ClosFabric {
                       std::uint32_t plane, std::uint32_t agg);
   NetLink& agg_downlink(std::uint32_t agg, std::uint32_t segment,
                         std::uint32_t rail, std::uint32_t plane);
+  NetLink& host_uplink(std::uint32_t segment, std::uint32_t host,
+                       std::uint32_t rail, std::uint32_t plane);
+  NetLink& tor_downlink(std::uint32_t segment, std::uint32_t host,
+                        std::uint32_t rail, std::uint32_t plane);
+
+  // -- Switch port groups (whole-switch failure injection) --------------------
+  //
+  // A switch failure takes down every cable touching the switch: its own
+  // egress ports plus the far-end egress ports that feed it (a packet sent
+  // onto a cable whose far end is dead is lost; modelling the loss at the
+  // near-end ingress keeps conservation accounting exact).
+
+  /// All ports of one aggregation switch: agg->ToR downlinks of `agg` in
+  /// every (segment, rail, plane), plus the ToR->Agg uplinks feeding it.
+  std::vector<NetLink*> agg_switch_ports(std::uint32_t agg);
+  /// All ports of one ToR: its host downlinks and Agg uplinks, plus the
+  /// host NIC egresses and Agg downlinks that feed it.
+  std::vector<NetLink*> tor_switch_ports(std::uint32_t segment,
+                                         std::uint32_t rail,
+                                         std::uint32_t plane);
 
   void reset_stats();
 
@@ -104,7 +124,9 @@ class ClosFabric {
   /// Packets that reached an endpoint with no registered handler.
   std::uint64_t dropped_no_handler() const { return dropped_no_handler_; }
   /// Packets accepted by send() (STELLAR_AUDIT instrumentation; stays 0 in
-  /// audit-off builds). Never reset — feeds the conservation auditor.
+  /// audit-off builds). Feeds the conservation auditor; reset_stats()
+  /// re-baselines it to the packets still in flight so the conservation
+  /// equation holds per measurement epoch.
   std::uint64_t injected_packets() const { return injected_; }
 
   /// Every egress port in the fabric (host NICs, ToR down/up, Agg down),

@@ -13,6 +13,11 @@ void NetLink::account_queue_change(std::uint64_t new_bytes) {
 
 void NetLink::enqueue(NetPacket&& p) {
   const std::uint32_t wire = p.wire_bytes();
+  if (!up_) {
+    ++down_drops_;
+    STELLAR_AUDIT_ONLY(++audit_ingress_drops_;)
+    return;
+  }
   if (config_.drop_probability > 0.0 &&
       rng_.chance(config_.drop_probability)) {
     ++random_drops_;
@@ -49,7 +54,8 @@ void NetLink::start_transmission() {
       control_queue_.empty() ? &queue_ : &control_queue_;
   const std::uint32_t wire = q->front().wire_bytes();
   const SimTime tx = config_.bandwidth.transmit_time(wire);
-  sim_->schedule_after(tx, [this, q] {
+  tx_event_ = sim_->schedule_after(tx, [this, q] {
+    tx_event_ = EventHandle{};
     NetPacket p = std::move(q->front());
     q->pop_front();
     const std::uint32_t wire_done = p.wire_bytes();
@@ -69,6 +75,34 @@ void NetLink::start_transmission() {
   });
 }
 
+void NetLink::set_down(LinkDrainMode mode) {
+  // A kVoid on an already-down (draining) link still empties the queue.
+  up_ = false;
+  if (mode != LinkDrainMode::kVoid) return;
+  if (tx_event_.valid()) {
+    // Abort the packet mid-serialization; it never left the device.
+    sim_->cancel(tx_event_);
+    tx_event_ = EventHandle{};
+  }
+  busy_ = false;
+  const std::uint64_t n = queue_.size() + control_queue_.size();
+  voided_packets_ += n;
+  STELLAR_AUDIT_ONLY(audit_sink_drops_ += n;)
+  queue_.clear();
+  control_queue_.clear();
+  account_queue_change(0);
+}
+
+void NetLink::set_up() {
+  if (up_) return;
+  up_ = true;
+  // A kDrain-downed link keeps transmitting while down, so only a link that
+  // went fully quiet needs a restart (nothing to do: its queues are empty).
+  if (!busy_ && (!queue_.empty() || !control_queue_.empty())) {
+    start_transmission();
+  }
+}
+
 double NetLink::mean_queue_bytes() const {
   const SimTime now = sim_->now();
   const double window = (now - stats_epoch_).sec();
@@ -86,9 +120,18 @@ void NetLink::reset_stats() {
   tail_drops_ = 0;
   random_drops_ = 0;
   ecn_marks_ = 0;
+  down_drops_ = 0;
+  voided_packets_ = 0;
   queue_integral_ = 0.0;
   last_change_ = sim_->now();
   stats_epoch_ = sim_->now();
+  // Re-baseline the conservation epoch: the packets this link still holds
+  // are carried over as the new accepted count, all outcome counters start
+  // from zero. held_packets() is unchanged by construction, so a mid-run
+  // reset never fakes or leaks packets (ClosFabric::reset_stats() adjusts
+  // the fabric-level injected/delivered counters to match).
+  STELLAR_AUDIT_ONLY(audit_accepted_ = held_packets(); audit_released_ = 0;
+                     audit_sink_drops_ = 0; audit_ingress_drops_ = 0;)
 }
 
 }  // namespace stellar

@@ -32,6 +32,16 @@ struct LinkConfig {
   double drop_probability = 0.0;                  // random corruption/loss
 };
 
+/// What happens to packets already queued on a link when it goes down.
+enum class LinkDrainMode {
+  /// Discard everything immediately (optics cut mid-flight); each packet is
+  /// accounted as an audited drop so conservation holds.
+  kVoid,
+  /// Lame-duck: stop accepting new packets but let the queue finish
+  /// transmitting (administrative drain before maintenance).
+  kDrain,
+};
+
 class NetLink {
  public:
   using DeliverFn = std::function<void(NetPacket&&)>;
@@ -52,6 +62,25 @@ class NetLink {
   /// optics and asymmetric paths. Takes effect from the next transmission.
   void set_bandwidth(Bandwidth bw) { config_.bandwidth = bw; }
 
+  /// Degrade (or restore) the propagation delay at runtime — models the
+  /// latency windows of a congested/rerouted optical path.
+  void set_propagation(SimTime propagation) {
+    config_.propagation = propagation;
+  }
+
+  // -- Hard failure (link down/up) ------------------------------------------
+  //
+  // A downed link rejects all ingress (each attempt counted as a down-drop
+  // and, under audit, an ingress drop). kVoid additionally destroys every
+  // queued packet — including the one mid-serialization — accounting each
+  // as an audited sink drop so packet conservation holds across the outage.
+  // Packets already past serialization (propagating) still arrive: they
+  // left the failed device before it died.
+
+  void set_down(LinkDrainMode mode = LinkDrainMode::kVoid);
+  void set_up();
+  bool is_up() const { return up_; }
+
   /// Offer a packet to the egress queue. May tail-drop or randomly drop.
   void enqueue(NetPacket&& p);
 
@@ -67,20 +96,29 @@ class NetLink {
   std::uint64_t tail_drops() const { return tail_drops_; }
   std::uint64_t random_drops() const { return random_drops_; }
   std::uint64_t ecn_marks() const { return ecn_marks_; }
+  /// Ingress rejections while the link was down.
+  std::uint64_t down_drops() const { return down_drops_; }
+  /// Queued packets destroyed by set_down(kVoid).
+  std::uint64_t voided_packets() const { return voided_packets_; }
 
   /// Time-weighted mean of queue depth since the last reset.
   double mean_queue_bytes() const;
 
   void reset_stats();
 
-  // -- Conservation accounting (STELLAR_AUDIT only; never reset) ------------
+  // -- Conservation accounting (STELLAR_AUDIT only) -------------------------
   //
-  // Lifetime counters for the packet-conservation auditor: a packet offered
+  // Epoch counters for the packet-conservation auditor: a packet offered
   // to the link is either rejected at ingress (audit_ingress_drops), or
   // accepted and later exactly one of released downstream
-  // (audit_released) or destroyed for lack of a sink (audit_sink_drops).
-  // Packets currently owned by the link (queued, serializing, or
-  // propagating) are the difference.
+  // (audit_released) or destroyed — for lack of a sink, or voided by a
+  // link-down (audit_sink_drops). Packets currently owned by the link
+  // (queued, serializing, or propagating) are the difference.
+  //
+  // reset_stats() re-baselines the epoch without breaking conservation:
+  // accepted collapses to the packets still held, the outcome counters go
+  // to zero (ClosFabric::reset_stats() re-baselines its injected/delivered
+  // counters to match, so the fabric-wide equation holds per epoch).
 
   std::uint64_t audit_accepted() const { return audit_accepted_; }
   std::uint64_t audit_released() const { return audit_released_; }
@@ -103,6 +141,8 @@ class NetLink {
   std::deque<NetPacket> queue_;       // data class
   std::deque<NetPacket> control_queue_;  // strict-priority (ACK/CNP) class
   bool busy_ = false;
+  bool up_ = true;
+  EventHandle tx_event_;  // pending serialization-complete, for kVoid abort
 
   std::uint64_t queue_bytes_ = 0;
   std::uint64_t max_queue_bytes_ = 0;
@@ -111,6 +151,8 @@ class NetLink {
   std::uint64_t tail_drops_ = 0;
   std::uint64_t random_drops_ = 0;
   std::uint64_t ecn_marks_ = 0;
+  std::uint64_t down_drops_ = 0;
+  std::uint64_t voided_packets_ = 0;
 
   // Integral of queue_bytes over time, for the time-weighted mean.
   double queue_integral_ = 0.0;     // byte-seconds

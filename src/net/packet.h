@@ -32,6 +32,11 @@ struct NetPacket {
   bool is_ack = false;
   bool ecn_marked = false;      // CE mark accumulated along the path
   bool ecn_echo = false;        // ACK: echoes the data packet's CE mark
+  /// Blacklist-reinstatement probe (§7.2 failure mitigation): a single
+  /// header-only packet on a held-out path. Probes ride their own sequence
+  /// space and never touch receiver PSN/message state; the ACK echoes the
+  /// flag (and path_id) so the sender can re-admit the path.
+  bool is_probe = false;
 
   // Message bookkeeping: receiver completes a message when it has all
   // payload bytes of msg_id. Total length rides in every packet (simulation

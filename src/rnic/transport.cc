@@ -61,6 +61,9 @@ std::uint64_t RdmaConnection::enqueue_message(std::uint64_t bytes,
                                               std::uint32_t tag,
                                               Completion on_complete) {
   const std::uint64_t msg_id = next_msg_id_++;
+  // A post to a dead QP is silently discarded (verbs semantics: the WR
+  // completes with a flush error; on_error already told the application).
+  if (error_) return msg_id;
   Message msg;
   msg.id = msg_id;
   msg.total = bytes;
@@ -106,7 +109,10 @@ std::uint16_t RdmaConnection::pick_path() {
   for (int attempt = 0; attempt < 8; ++attempt) {
     auto it = blacklist_.find(path);
     if (it == blacklist_.end()) return path;
-    if (it->second <= now) {  // hold-down expired: give it another chance
+    // Blind hold-down expiry: once the hold elapses the path is simply
+    // tried again. In probe mode the path stays out until a probe ACK
+    // (note_path_ack) reinstates it.
+    if (!config_.blacklist_probe && it->second <= now) {
       blacklist_.erase(it);
       path_timeout_streak_[path] = 0;
       return path;
@@ -122,13 +128,59 @@ void RdmaConnection::note_path_timeout(std::uint16_t path) {
   if (++path_timeout_streak_[path] >= config_.blacklist_threshold) {
     blacklist_[path] =
         engine_.simulator().now() + config_.blacklist_hold;
+    if (config_.blacklist_probe) {
+      schedule_probe(path, config_.blacklist_hold);
+    }
   }
 }
 
 void RdmaConnection::note_path_ack(std::uint16_t path) {
   if (config_.blacklist_threshold == 0) return;
   path_timeout_streak_[path] = 0;
-  blacklist_.erase(path);
+  if (blacklist_.erase(path) != 0) {
+    ++paths_reinstated_;
+    auto probe = probe_events_.find(path);
+    if (probe != probe_events_.end()) {
+      engine_.simulator().cancel(probe->second);
+      probe_events_.erase(probe);
+    }
+  }
+}
+
+void RdmaConnection::schedule_probe(std::uint16_t path, SimTime delay) {
+  if (error_) return;
+  if (probe_events_.count(path) != 0) return;  // one in flight per path
+  probe_events_[path] = engine_.simulator().schedule_after(
+      delay, [this, path] { send_probe(path); });
+}
+
+void RdmaConnection::send_probe(std::uint16_t path) {
+  probe_events_.erase(path);
+  if (error_ || blacklist_.count(path) == 0) return;
+  // Dormant while idle: no work pending means nothing re-arms the probe, so
+  // the simulator can drain. kick_probes() restarts it on the next post.
+  if (idle()) return;
+  ++probes_sent_;
+
+  NetPacket p;
+  p.kind = PacketKind::kWrite;
+  p.is_probe = true;
+  p.conn_id = id_;
+  p.psn = next_probe_seq_++;  // own sequence space; never hits RxState
+  p.payload = 0;
+  p.header = 64 + config_.extra_header_bytes;
+  p.src = local_;
+  p.dst = remote_;
+  p.path_id = path;
+  STELLAR_CHECK_OK(engine_.fabric().send(std::move(p)),
+                   "probe transmit rejected by fabric");
+  schedule_probe(path, config_.probe_interval);
+}
+
+void RdmaConnection::kick_probes() {
+  for (const auto& [path, expiry] : blacklist_) {
+    schedule_probe(path, config_.probe_interval);
+  }
 }
 
 void RdmaConnection::send_more() {
@@ -166,6 +218,10 @@ void RdmaConnection::send_more() {
     transmit(psn, meta);
   }
   arm_rto();
+  // Work is pending again: wake the dormant blacklist probes.
+  if (config_.blacklist_probe && !blacklist_.empty() && !idle()) {
+    kick_probes();
+  }
 }
 
 void RdmaConnection::transmit(std::uint64_t psn, const Outstanding& meta) {
@@ -205,6 +261,13 @@ void RdmaConnection::transmit(std::uint64_t psn, const Outstanding& meta) {
 }
 
 void RdmaConnection::handle_ack(const NetPacket& ack) {
+  if (error_) return;  // flushed QP: late ACKs are meaningless
+  if (ack.is_probe) {
+    ++probes_acked_;
+    note_path_ack(ack.path_id);
+    send_more();  // the reinstated path may unblock stalled work
+    return;
+  }
   auto it = outstanding_.find(ack.ack_psn);
   if (it == outstanding_.end()) return;  // ack for a superseded copy
   const Outstanding meta = it->second;
@@ -258,14 +321,16 @@ void RdmaConnection::on_rto_fire() {
   Simulator& sim = engine_.simulator();
   const SimTime now = sim.now();
   bool fired = false;
+  bool exhausted = false;
   for (auto& [psn, meta] : outstanding_) {
     if (now - meta.sent_at < config_.rto) continue;
-    if (++meta.retries > config_.max_retries) {
+    if (meta.retries >= config_.max_retries) {
       // Retry budget exhausted: the peer (or every path to it) is gone.
       // Move the QP to error instead of spinning the RTO forever.
-      error_ = true;
-      continue;
+      exhausted = true;
+      break;
     }
+    ++meta.retries;
     // Retransmit on a *different* path: the paper's instant-failover trick —
     // a broken link only costs one RTO before traffic routes around it.
     note_path_timeout(meta.path);
@@ -280,14 +345,9 @@ void RdmaConnection::on_rto_fire() {
     fired = true;
     transmit(psn, meta);
   }
-  if (error_) {
-    // Flush all state; pending messages never complete (QP error).
-    outstanding_.clear();
-    inflight_bytes_ = 0;
-    if (config_.per_path_cc) {
-      per_path_inflight_.assign(config_.num_paths, 0);
-    }
-    arm_rto();
+  if (exhausted) {
+    enter_error(unavailable(
+        "RdmaConnection: retry budget exhausted (peer or all paths dead)"));
     return;
   }
   if (fired) {
@@ -295,6 +355,32 @@ void RdmaConnection::on_rto_fire() {
     if (!config_.per_path_cc) cc_->on_timeout();
   }
   arm_rto();
+}
+
+void RdmaConnection::enter_error(Status reason) {
+  if (error_) return;  // terminal: first cause wins
+  error_ = true;
+  error_status_ = std::move(reason);
+
+  // Flush all state; pending messages never complete (QP error) — the
+  // on_error callback is the failure signal that replaces them.
+  outstanding_.clear();
+  inflight_bytes_ = 0;
+  if (config_.per_path_cc) {
+    per_path_inflight_.assign(config_.num_paths, 0);
+  }
+  unsent_queue_.clear();
+  messages_.clear();
+
+  Simulator& sim = engine_.simulator();
+  if (rto_event_.valid()) {
+    sim.cancel(rto_event_);
+    rto_event_ = EventHandle{};
+  }
+  for (auto& [path, handle] : probe_events_) sim.cancel(handle);
+  probe_events_.clear();
+
+  if (on_error_) on_error_(error_status_);
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +424,17 @@ RdmaConnection& RdmaEngine::reverse_connection(std::uint64_t forward_id,
   return *raw;
 }
 
+void RdmaEngine::reset_device(SimTime down_for) {
+  ++device_resets_;
+  const SimTime until = sim_->now() + down_for;
+  if (until > reset_until_) reset_until_ = until;
+  // A function-level reset tears down every QP: each connection moves to
+  // the error state and tells its application via on_error.
+  for (auto& conn : connections_) {
+    conn->enter_error(unavailable("RdmaEngine: device reset"));
+  }
+}
+
 void RdmaEngine::post_recv(std::uint64_t conn_id, RecvHandler on_recv) {
   RecvQueue& q = recv_queues_[conn_id];
   if (!q.unexpected.empty()) {
@@ -355,6 +452,12 @@ std::size_t RdmaEngine::pending_recvs(std::uint64_t conn_id) const {
 }
 
 void RdmaEngine::on_packet(NetPacket&& p) {
+  if (sim_->now() < reset_until_) {
+    // Device mid-reset: the function drops everything on the floor. The
+    // fabric already counted the packet delivered, so conservation holds.
+    ++reset_drops_;
+    return;
+  }
   if (p.is_ack) {
     auto it = by_id_.find(p.conn_id);
     if (it != by_id_.end()) it->second->handle_ack(p);
@@ -364,6 +467,12 @@ void RdmaEngine::on_packet(NetPacket&& p) {
 }
 
 void RdmaEngine::handle_data(NetPacket&& p) {
+  if (p.is_probe) {
+    // Blacklist-reinstatement probe: ACK it straight back on the same path.
+    // Probes ride their own sequence space and must not touch RxState.
+    send_ack(p);
+    return;
+  }
   RxState& state = rx_[p.conn_id];
 
   const bool fresh = state.record(p.psn);
@@ -447,6 +556,7 @@ void RdmaEngine::send_ack(const NetPacket& data) {
   ack.is_ack = true;
   ack.ack_psn = data.psn;
   ack.ecn_echo = data.ecn_marked;
+  ack.is_probe = data.is_probe;
   ack.payload = 0;
   ack.header = 64;
   ack.src = self_;

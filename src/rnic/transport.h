@@ -57,6 +57,14 @@ struct TransportConfig {
   /// 0 disables blacklisting.
   std::uint32_t blacklist_threshold = 3;
   SimTime blacklist_hold = SimTime::millis(10);
+  /// Probe-based reinstatement: a blacklisted path is re-admitted only once
+  /// a single-packet probe on it is acknowledged (first probe goes out
+  /// `blacklist_hold` after blacklisting, then every `probe_interval` while
+  /// the connection has work pending). With `blacklist_probe = false` the
+  /// blacklist falls back to blind hold-down expiry: after `blacklist_hold`
+  /// the path is simply tried again.
+  bool blacklist_probe = true;
+  SimTime probe_interval = SimTime::millis(1);
   /// Per-path congestion control (§9's alternative design): each path gets
   /// its own window of init_window/num_paths. The paper rejected this
   /// because the silicon budget then caps the fan-out at ~4 paths; the
@@ -70,6 +78,7 @@ class RdmaEngine;
 class RdmaConnection {
  public:
   using Completion = std::function<void()>;
+  using ErrorHandler = std::function<void(const Status&)>;
 
   /// Queue an RDMA WRITE of `bytes`. `on_complete` fires when every packet
   /// of the message has been acknowledged. Returns the message id (unique
@@ -101,7 +110,19 @@ class RdmaConnection {
   bool idle() const { return inflight_bytes_ == 0 && unsent_queue_.empty(); }
   /// True once a packet exhausted its retry budget (QP in error state).
   bool in_error() const { return error_; }
+  /// OK while healthy; the terminal error (kUnavailable) once the QP moved
+  /// to the error state. Collectives poll this to distinguish "still
+  /// flowing" from "dead peer" without waiting for a wall-clock timeout.
+  Status status() const { return error_ ? error_status_ : Status::ok(); }
+  /// Fires exactly once when the QP enters the error state (retry budget
+  /// exhausted or device reset). Pending completions never fire after an
+  /// error; this callback is the failure signal that replaces them.
+  void set_on_error(ErrorHandler handler) { on_error_ = std::move(handler); }
   std::size_t blacklisted_paths() const { return blacklist_.size(); }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probes_acked() const { return probes_acked_; }
+  /// Paths taken off the blacklist by a successful probe or data ACK.
+  std::uint64_t paths_reinstated() const { return paths_reinstated_; }
 
   /// Window of the shared context, or the sum across per-path contexts.
   std::uint64_t window() const;
@@ -145,6 +166,15 @@ class RdmaConnection {
   void arm_rto();
   void on_rto_fire();
 
+  /// Terminal transition to the error state: flush all in-flight state,
+  /// fail (drop) pending messages, cancel timers/probes, fire on_error.
+  void enter_error(Status reason);
+
+  /// Blacklist probing (probe-based reinstatement).
+  void schedule_probe(std::uint16_t path, SimTime delay);
+  void send_probe(std::uint16_t path);
+  void kick_probes();
+
   std::uint64_t enqueue_message(std::uint64_t bytes, PacketKind kind,
                                 std::uint32_t tag, Completion on_complete);
 
@@ -180,6 +210,10 @@ class RdmaConnection {
   // Failure mitigation: consecutive timeouts per path and hold-down expiry.
   std::unordered_map<std::uint16_t, std::uint32_t> path_timeout_streak_;
   std::unordered_map<std::uint16_t, SimTime> blacklist_;
+  // One pending probe event per blacklisted path (probe mode only). Probes
+  // go dormant while the connection is idle so the simulator can drain.
+  std::unordered_map<std::uint16_t, EventHandle> probe_events_;
+  std::uint64_t next_probe_seq_ = 0;
 
   EventHandle rto_event_;
 
@@ -188,7 +222,12 @@ class RdmaConnection {
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t packets_sent_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_acked_ = 0;
+  std::uint64_t paths_reinstated_ = 0;
   bool error_ = false;
+  Status error_status_;
+  ErrorHandler on_error_;
 };
 
 /// Message observed complete at the receiver (all payload bytes placed).
@@ -216,6 +255,15 @@ class RdmaEngine {
   /// Open a connection to `remote` (must share rail/plane with `self`).
   StatusOr<RdmaConnection*> connect(EndpointId remote,
                                     const TransportConfig& config);
+
+  /// Hard device reset (fault injection): every QP of this engine moves to
+  /// the error state (firing its on_error handler), and for `down_for` of
+  /// simulated time every arriving packet is dropped at the device — the
+  /// window a real function-level reset is unresponsive for.
+  void reset_device(SimTime down_for);
+  std::uint64_t device_resets() const { return device_resets_; }
+  /// Packets discarded because they arrived during a reset window.
+  std::uint64_t reset_drops() const { return reset_drops_; }
 
   /// Called whenever a full message lands at this endpoint.
   void set_message_handler(MessageHandler handler) {
@@ -335,6 +383,12 @@ class RdmaEngine {
   std::uint64_t rx_out_of_order_ = 0;
   std::uint64_t unexpected_sends_ = 0;
   std::unordered_map<std::uint16_t, std::uint64_t> rx_path_histogram_;
+
+  // Device-reset fault window: packets arriving before reset_until_ are
+  // discarded at the device (the fabric already counted them delivered).
+  SimTime reset_until_ = SimTime::zero();
+  std::uint64_t device_resets_ = 0;
+  std::uint64_t reset_drops_ = 0;
 };
 
 }  // namespace stellar

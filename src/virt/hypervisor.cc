@@ -1,5 +1,7 @@
 #include "virt/hypervisor.h"
 
+#include <algorithm>
+
 namespace stellar {
 
 StatusOr<Hypervisor::BootReport> Hypervisor::boot_container(
@@ -60,6 +62,38 @@ Status Hypervisor::shutdown_container(RundContainer& container) {
   state_.erase(it);
   container.set_booted(false);
   return Status::ok();
+}
+
+void Hypervisor::prepare_dma_with_retry(Simulator& sim, VmId vm, Gpa gpa,
+                                        std::uint64_t len, PinCallback done) {
+  retry_pin(sim, vm, gpa, len, /*attempt=*/1,
+            config_.pin_retry.initial_backoff, std::move(done));
+}
+
+void Hypervisor::retry_pin(Simulator& sim, VmId vm, Gpa gpa,
+                           std::uint64_t len, std::uint32_t attempt,
+                           SimTime backoff, PinCallback done) {
+  auto it = state_.find(vm);
+  if (it == state_.end()) {
+    if (done) done(not_found("Hypervisor: container not booted"));
+    return;
+  }
+  auto result = it->second->pvdma->prepare_dma(gpa, len);
+  // Only resource pressure is transient; everything else (and the attempt
+  // budget running out) is reported to the caller as-is.
+  if (result.is_ok() ||
+      result.status().code() != StatusCode::kResourceExhausted ||
+      attempt >= config_.pin_retry.max_attempts) {
+    if (done) done(std::move(result));
+    return;
+  }
+  ++pin_retries_;
+  const SimTime next_backoff =
+      std::min(backoff + backoff, config_.pin_retry.max_backoff);
+  sim.schedule_after(backoff, [this, &sim, vm, gpa, len, attempt, next_backoff,
+                               done = std::move(done)]() mutable {
+    retry_pin(sim, vm, gpa, len, attempt + 1, next_backoff, std::move(done));
+  });
 }
 
 StatusOr<Hypervisor::VdbMapping> Hypervisor::map_vdb(RundContainer& container,

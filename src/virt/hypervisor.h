@@ -9,15 +9,27 @@
 #include <optional>
 #include <unordered_map>
 
+#include <functional>
+
 #include "common/status.h"
 #include "common/units.h"
 #include "memory/ept.h"
 #include "pcie/host_pcie.h"
+#include "sim/simulator.h"
 #include "virt/container.h"
 #include "virt/pvdma.h"
 #include "virt/virtio.h"
 
 namespace stellar {
+
+/// Backoff schedule for pin attempts hitting transient resource pressure
+/// (kResourceExhausted): retry after initial_backoff, doubling up to
+/// max_backoff, at most max_attempts tries total.
+struct PinRetryPolicy {
+  std::uint32_t max_attempts = 8;
+  SimTime initial_backoff = SimTime::micros(50);
+  SimTime max_backoff = SimTime::millis(5);
+};
 
 struct HypervisorConfig {
   bool use_pvdma = true;
@@ -26,6 +38,7 @@ struct HypervisorConfig {
   /// Per-GiB hypervisor overhead independent of pinning (page-table setup,
   /// balloon negotiation, ...): the +11 s between 160 GB and 1.6 TB pods.
   SimTime per_gib_overhead = SimTime::millis(8);
+  PinRetryPolicy pin_retry;
 };
 
 class Hypervisor {
@@ -62,6 +75,18 @@ class Hypervisor {
   StatusOr<VdbMapping> map_vdb(RundContainer& container, Hpa doorbell_hpa);
   Status unmap_vdb(RundContainer& container, const VdbMapping& mapping);
 
+  /// prepare_dma with retry-on-pressure: attempts the pin immediately; on
+  /// kResourceExhausted schedules retries in simulated time per the
+  /// configured PinRetryPolicy (capped exponential backoff). `done` fires
+  /// exactly once — with the successful MapResult, the terminal
+  /// kResourceExhausted after the attempt budget, or any other error
+  /// immediately (only pressure is considered transient).
+  using PinCallback = std::function<void(StatusOr<Pvdma::MapResult>)>;
+  void prepare_dma_with_retry(Simulator& sim, VmId vm, Gpa gpa,
+                              std::uint64_t len, PinCallback done);
+  /// Pin attempts that hit pressure and were re-scheduled.
+  std::uint64_t pin_retries() const { return pin_retries_; }
+
   const HypervisorConfig& config() const { return config_; }
 
  private:
@@ -74,9 +99,13 @@ class Hypervisor {
     std::uint64_t backing_len = 0;
   };
 
+  void retry_pin(Simulator& sim, VmId vm, Gpa gpa, std::uint64_t len,
+                 std::uint32_t attempt, SimTime backoff, PinCallback done);
+
   HostPcie* pcie_;
   HypervisorConfig config_;
   std::unordered_map<VmId, std::unique_ptr<VmState>> state_;
+  std::uint64_t pin_retries_ = 0;
 };
 
 }  // namespace stellar

@@ -12,6 +12,11 @@ constexpr std::uint64_t kBarWindowBase = 1ull << 46;
 
 StatusOr<Pvdma::MapResult> Pvdma::prepare_dma(Gpa gpa, std::uint64_t len) {
   if (len == 0) return invalid_argument("Pvdma::prepare_dma: zero length");
+  if (pressured_) {
+    ++pressured_rejections_;
+    return resource_exhausted(
+        "Pvdma::prepare_dma: pin resources exhausted (injected pressure)");
+  }
   MapResult out;
   out.cache_hit = true;
 

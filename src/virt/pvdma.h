@@ -45,7 +45,17 @@ class Pvdma {
 
   /// A guest device driver is about to DMA into [gpa, gpa+len): make sure
   /// every covering block is registered and pinned (Figure 4 stages 1-2).
+  /// Fails with kResourceExhausted while resource pressure is injected.
   StatusOr<MapResult> prepare_dma(Gpa gpa, std::uint64_t len);
+
+  /// Control-path fault injection: while pressured, every prepare_dma()
+  /// that would need to pin (or even look up) returns kResourceExhausted —
+  /// the hypervisor pin path is out of pin budget / IOMMU slots. Callers
+  /// are expected to back off and retry (Hypervisor::prepare_dma_with_retry).
+  void set_resource_pressure(bool on) { pressured_ = on; }
+  bool resource_pressure() const { return pressured_; }
+  /// prepare_dma() calls rejected by injected pressure.
+  std::uint64_t pressured_rejections() const { return pressured_rejections_; }
 
   /// The consumer (e.g. the GPU) is done with [gpa, gpa+len); blocks whose
   /// user count drops to zero are unmapped and unpinned.
@@ -85,6 +95,8 @@ class Pvdma {
   std::uint64_t blocks_registered_ = 0;
   std::uint64_t stale_accesses_ = 0;
   std::uint64_t double_unpins_ = 0;
+  bool pressured_ = false;
+  std::uint64_t pressured_rejections_ = 0;
 };
 
 }  // namespace stellar

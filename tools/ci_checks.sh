@@ -2,9 +2,10 @@
 # Full CI gate for the repo. Runs, in order:
 #   1. default build (STELLAR_AUDIT=ON) + the complete test suite
 #   2. the audit-labelled invariant tests on their own (fast signal)
-#   3. ASan+UBSan build + the complete test suite
-#   4. clang-tidy over src/ (skipped gracefully when not installed)
-#   5. STELLAR_AUDIT=OFF build of the bench binaries — proves the audit
+#   3. the fault-labelled fault-injection/recovery tests on their own
+#   4. ASan+UBSan build + the complete test suite + the fault suite
+#   5. clang-tidy over src/ (skipped gracefully when not installed)
+#   6. STELLAR_AUDIT=OFF build of the bench binaries — proves the audit
 #      instrumentation compiles out of hot paths entirely
 #
 #   tools/ci_checks.sh [--skip-san]
@@ -40,11 +41,16 @@ ctest --test-dir build --output-on-failure -j"$jobs"
 step "invariant audit suite (ctest -L audit)"
 ctest --test-dir build --output-on-failure -L audit
 
+step "fault injection suite (ctest -L fault)"
+ctest --test-dir build --output-on-failure -L fault
+
 if [ "$skip_san" -eq 0 ]; then
   step "ASan+UBSan build + full test suite"
   cmake -B build-san -S . -DSTELLAR_SANITIZE=address,undefined
   cmake --build build-san -j"$jobs"
   ctest --test-dir build-san --output-on-failure -j"$jobs"
+  step "fault injection suite under sanitizers (ctest -L fault)"
+  ctest --test-dir build-san --output-on-failure -L fault
 else
   step "sanitizer pass skipped (--skip-san)"
 fi
