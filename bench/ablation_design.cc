@@ -61,6 +61,7 @@ AblationResult allreduce_bw(std::uint16_t paths, SimTime rto, double loss,
   const SimTime window_start = sim.now();
   ar.start(chain);
   sim.run_until(SimTime::millis(300));
+  engine_meter().add(sim);
 
   AblationResult out;
   out.bw_gbps = measured ? total / measured : 0;
@@ -84,6 +85,7 @@ AblationResult allreduce_bw(std::uint16_t paths, SimTime rto, double loss,
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Ablation (a) - shared CC context, 128 paths vs per-path CC's\n"
       "feasible fan-out of 4 (same silicon budget), under a lossy link");
@@ -149,5 +151,6 @@ int main() {
                        .bw_gbps,
                    1)});
   }
+  engine_meter().report();
   return 0;
 }

@@ -98,6 +98,7 @@ void monitoring() {
                             fabric.endpoint(1, 0, 0, 0), t);
   conn.value()->post_write(64_MiB);
   sim.run();
+  engine_meter().add(sim);
   const auto& hist = fleet.at(fabric.endpoint(1, 0, 0, 0)).rx_path_histogram();
   std::uint64_t total = 0, max_count = 0, min_count = ~0ull;
   for (const auto& [path, count] : hist) {
@@ -120,8 +121,10 @@ void monitoring() {
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   problem4();
   problem5();
   monitoring();
+  engine_meter().report();
   return 0;
 }

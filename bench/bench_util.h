@@ -4,10 +4,14 @@
 // the tables.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sim/simulator.h"
 
 namespace stellar::bench {
 
@@ -26,6 +30,57 @@ inline std::string fmt(double v, int decimals = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+// -- Engine throughput reporting ----------------------------------------------
+//
+// Every simulator-driving bench ends with one "[engine]" line: total events
+// executed across all its Simulator instances, wall-clock, and events/sec.
+// The wall clock starts at the first engine_meter() call, so touch the
+// meter at the top of main() before running anything; each run() helper
+// adds its drained Simulator just before the instance goes out of scope.
+
+class EngineMeter {
+ public:
+  EngineMeter() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Fold one finished Simulator's executed-event count into the total.
+  void add(const Simulator& sim) {
+    events_ += sim.executed_events();
+    ++runs_;
+  }
+
+  std::uint64_t events() const { return events_; }
+  double wall_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double events_per_sec() const {
+    const double w = wall_seconds();
+    return w > 0.0 ? static_cast<double>(events_) / w : 0.0;
+  }
+
+  void report() const {
+    std::printf(
+        "\n[engine] %llu simulator runs, %llu events, %.2f s wall, "
+        "%.2f M events/s\n",
+        static_cast<unsigned long long>(runs_),
+        static_cast<unsigned long long>(events_), wall_seconds(),
+        events_per_sec() / 1e6);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t events_ = 0;
+  std::uint64_t runs_ = 0;
+};
+
+/// Process-wide meter: benches call this once at the top of main() (to start
+/// the wall clock) and add() each Simulator when its run completes.
+inline EngineMeter& engine_meter() {
+  static EngineMeter meter;
+  return meter;
 }
 
 // -- JSON result emission -----------------------------------------------------

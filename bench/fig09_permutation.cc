@@ -64,6 +64,7 @@ QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths) {
   sim.run_until(sim.now() + window);
   const std::uint64_t delivered = traffic.completed_bytes() - before;
   traffic.stop();
+  engine_meter().add(sim);
 
   QueueStats out;
   RunningStats mean_q, max_q;
@@ -81,6 +82,7 @@ QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths) {
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Figure 9 - ToR uplink queue depth, permutation traffic (32 flows,\n"
       "2 segments, 16 aggs/plane; paper uses 30 servers / 120 flows)\n"
@@ -100,5 +102,6 @@ int main() {
                  fmt(s.max_kib, 1), fmt(s.goodput_gbps, 1)});
     }
   }
+  engine_meter().report();
   return 0;
 }

@@ -88,6 +88,7 @@ double static_background_bw(MultipathAlgo algo, std::uint16_t paths) {
   while (measured < 3 && sim.now() < deadline) {
     sim.run_until(sim.now() + SimTime::millis(1));
   }
+  engine_meter().add(sim);
   return measured > 0 ? total_bw / measured : 0.0;
 }
 
@@ -123,12 +124,14 @@ double bursty_background_bw(MultipathAlgo algo, std::uint16_t paths) {
   while (measured < 6 && sim.now() < deadline) {
     sim.run_until(sim.now() + SimTime::millis(1));
   }
+  engine_meter().add(sim);
   return measured > 0 ? total_bw / measured : 0.0;
 }
 
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Figure 10a - test AllReduce bus bandwidth (Gbps) under static\n"
       "background (2 looping AllReduce jobs), 8-rank cross-segment rings\n"
@@ -155,5 +158,6 @@ int main() {
                fmt(bursty_background_bw(algo, 4), 1),
                fmt(bursty_background_bw(algo, 128), 1)});
   }
+  engine_meter().report();
   return 0;
 }

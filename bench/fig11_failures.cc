@@ -49,6 +49,7 @@ double one_trial(MultipathAlgo algo, std::uint16_t paths,
   };
   ar.start(chain);
   sim.run_until(SimTime::millis(400));
+  engine_meter().add(sim);
   return measured > 0 ? total / measured : 0.0;
 }
 
@@ -68,6 +69,7 @@ double allreduce_bw(MultipathAlgo algo, std::uint16_t paths,
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Figure 11 - AllReduce bus bandwidth (Gbps) with a lossy link,\n"
       "16-rank cross-segment ring, loss injected on one ToR uplink\n"
@@ -105,5 +107,6 @@ int main() {
       "qualitative claim holds: no algorithm collapses, recovery is one\n"
       "250us RTO, and total link death (see examples/multipath_training)\n"
       "stalls single-path rings while the spray barely notices.\n");
+  engine_meter().report();
   return 0;
 }

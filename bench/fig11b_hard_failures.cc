@@ -107,12 +107,14 @@ Trial one_trial(MultipathAlgo algo, std::uint16_t paths,
     out.recover_us = a.recover_latency.sec() * 1e6;
     out.goodput_dip = a.goodput_dip;
   }
+  engine_meter().add(sim);
   return out;
 }
 
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Figure 11b - AllReduce under hard failures (one ToR uplink cut /\n"
       "one Agg switch dead, injected mid-run), 16-rank cross-segment ring\n"
@@ -179,5 +181,6 @@ int main() {
       "whose hash lands on the dead device move the QP to the error state\n"
       "after the retry budget (status ERROR) instead of hanging - the\n"
       "fail-fast half of the recovery story.\n");
+  engine_meter().report();
   return 0;
 }

@@ -56,6 +56,7 @@ Imbalance run(std::uint16_t paths) {
   fabric.reset_stats();
   const SimTime window = SimTime::millis(4);
   sim.run_until(sim.now() + window);
+  engine_meter().add(sim);
 
   double max_load = 0, min_load = 1e18, sum = 0, sum2 = 0;
   const auto uplinks = fabric.tor_uplinks(0, 0, 0);
@@ -84,6 +85,7 @@ Imbalance run(std::uint16_t paths) {
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Figure 12 - ToR uplink imbalance vs paths per connection\n"
       "2 RNICs, 16 connections, 16 aggregation switches\n"
@@ -94,5 +96,6 @@ int main() {
     print_row({std::to_string(paths), fmt(im.max_min_delta_pct, 2),
                fmt(im.cov_pct, 1)});
   }
+  engine_meter().report();
   return 0;
 }

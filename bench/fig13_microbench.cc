@@ -94,12 +94,14 @@ Result run(Stack stack, std::uint64_t msg_bytes) {
     (void)done;
     out.gbps = static_cast<double>(bytes) * 8.0 / (sim.now() - t0).sec() / 1e9;
   }
+  engine_meter().add(sim);
   return out;
 }
 
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   print_header(
       "Figure 13 - perftest microbenchmark: one-way latency (us) and\n"
       "streaming throughput (Gbps), two hosts under one ToR, 200G links\n"
@@ -126,5 +128,6 @@ int main() {
   const Result vxlan8m = run(Stack::kVfVxlan, 8_MiB);
   std::printf("VF+VxLAN 8 MiB bandwidth loss: -%.1f%%\n",
               100.0 * (1.0 - vxlan8m.gbps / bare8m.gbps));
+  engine_meter().report();
   return 0;
 }

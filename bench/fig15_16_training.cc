@@ -82,6 +82,7 @@ double measure_allreduce_bw(Placement placement, MultipathAlgo algo,
   while (measured < 3 && sim.now() < SimTime::millis(200)) {
     sim.run_until(sim.now() + SimTime::millis(1));
   }
+  engine_meter().add(sim);
   double bw = measured > 0 ? total / measured : 0.0;
   // Secure containers add only the (per-iteration amortized) control-path
   // cost, which is ~zero relative to data-path time — Figure 15's result.
@@ -92,6 +93,7 @@ double measure_allreduce_bw(Placement placement, MultipathAlgo algo,
 }  // namespace
 
 int main() {
+  engine_meter();  // start the engine wall clock
   // ---- Measure transport bandwidths under both placements -----------------
   const double stellar_reranked =
       measure_allreduce_bw(Placement::kReranked, MultipathAlgo::kObs, 128);
@@ -161,5 +163,6 @@ int main() {
                fmt(100.0 * (t_secure / t_regular - 1.0), 3) + "%"},
               16);
   }
+  engine_meter().report();
   return 0;
 }

@@ -306,18 +306,30 @@ void SimulatorAuditor::audit(AuditReport& report) const {
   report.note_check();
   if (stats.pending_ids != stats.live_events) {
     report.fail(name(), "live_events=" + std::to_string(stats.live_events) +
-                            " != pending id set size " +
+                            " != pending entry count " +
                             std::to_string(stats.pending_ids));
   }
+  // `queued` is ground truth: the wheel slots, overflow heap, and active
+  // bucket are walked, so a counter that drifts from the structures (or an
+  // entry lost between them) shows up here.
   report.note_check();
   if (stats.queued != stats.pending_ids + stats.tombstones) {
-    report.fail(name(), "queue holds " + std::to_string(stats.queued) +
-                            " events but pending=" +
+    report.fail(name(), "scheduler holds " + std::to_string(stats.queued) +
+                            " entries but pending=" +
                             std::to_string(stats.pending_ids) +
                             " + tombstones=" +
                             std::to_string(stats.tombstones) + " = " +
                             std::to_string(stats.pending_ids +
                                            stats.tombstones));
+  }
+  // Every pool record in use backs exactly one queued entry (pending or
+  // tombstoned) — a leak or double-free in the record pool breaks this.
+  report.note_check();
+  if (stats.allocated_records != stats.pending_ids + stats.tombstones) {
+    report.fail(name(),
+                "record pool has " + std::to_string(stats.allocated_records) +
+                    " records in use but pending+tombstones = " +
+                    std::to_string(stats.pending_ids + stats.tombstones));
   }
 }
 

@@ -5,7 +5,7 @@
 //   PinAccountingAuditor       IOMMU pins vs PVDMA Map Cache residency (§5)
 //   EmttCoherenceAuditor       eMTT entries vs EPT truth / pinned blocks (§6)
 //   TransportAuditor           QP/PSN/window/RTO legality (§7)
-//   SimulatorAuditor           event-heap bookkeeping sanity
+//   SimulatorAuditor           timing-wheel scheduler bookkeeping sanity
 //
 // Auditors hold non-owning pointers: the audited objects must outlive the
 // registry (or the registry must be destroyed/detached first, as the
@@ -91,9 +91,11 @@ class TransportAuditor final : public InvariantAuditor {
   const RdmaEngine* engine_;
 };
 
-/// (e) Simulator event-heap sanity: live-event count matches the pending-id
-/// set, and every queued entry is either pending or tombstoned (the
-/// tombstone set never outgrows the queue).
+/// (e) Simulator scheduler sanity: the live-event counter matches the
+/// pending-entry counter, the walked timing-wheel structures (wheel slots +
+/// overflow heap + active bucket) hold exactly pending + tombstoned
+/// entries, and the event-record pool's in-use count backs each of them
+/// exactly once (no leaked or double-freed records).
 class SimulatorAuditor final : public InvariantAuditor {
  public:
   explicit SimulatorAuditor(const Simulator& sim) : sim_(&sim) {}

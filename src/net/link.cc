@@ -1,5 +1,8 @@
 #include "net/link.h"
 
+#include <iterator>
+#include <utility>
+
 namespace stellar {
 
 void NetLink::account_queue_change(std::uint64_t new_bytes) {
@@ -50,29 +53,84 @@ void NetLink::start_transmission() {
                 "link %s started transmitting with both queues empty",
                 name_.c_str());
   busy_ = true;
-  std::deque<NetPacket>* q =
-      control_queue_.empty() ? &queue_ : &control_queue_;
-  const std::uint32_t wire = q->front().wire_bytes();
-  const SimTime tx = config_.bandwidth.transmit_time(wire);
-  tx_event_ = sim_->schedule_after(tx, [this, q] {
-    tx_event_ = EventHandle{};
-    NetPacket p = std::move(q->front());
-    q->pop_front();
-    const std::uint32_t wire_done = p.wire_bytes();
-    account_queue_change(queue_bytes_ - wire_done);
-    bytes_sent_ += wire_done;
-    ++packets_sent_;
-    // Hand off after propagation; the wire is free for the next packet now.
-    sim_->schedule_after(config_.propagation, [this, p = std::move(p)]() mutable {
-      STELLAR_AUDIT_ONLY(deliver_ ? ++audit_released_ : ++audit_sink_drops_;)
-      if (deliver_) deliver_(std::move(p));
-    });
-    if (!queue_.empty() || !control_queue_.empty()) {
-      start_transmission();
-    } else {
-      busy_ = false;
-    }
-  });
+  tx_from_control_ = !control_queue_.empty();
+  const std::deque<NetPacket>& q = tx_from_control_ ? control_queue_ : queue_;
+  tx_wire_bytes_ = q.front().wire_bytes();
+  const SimTime tx = config_.bandwidth.transmit_time(tx_wire_bytes_);
+  auto fire = [this] { complete_transmission(); };
+  static_assert(InlineAction::fits_inline<decltype(fire)>,
+                "hot-path tx closure must not heap-allocate");
+  tx_event_ = sim_->schedule_after(tx, std::move(fire));
+}
+
+void NetLink::complete_transmission() {
+  tx_event_ = EventHandle{};
+  // Recompute the source queue from the committed class rather than a
+  // pointer captured at schedule time; a drain/set_down in between would
+  // have cancelled this event, and if anything else ever empties the queue
+  // the checks below trip instead of popping the wrong packet.
+  std::deque<NetPacket>& q = tx_from_control_ ? control_queue_ : queue_;
+  STELLAR_CHECK(!q.empty(),
+                "link %s finished serializing from an empty %s queue",
+                name_.c_str(), tx_from_control_ ? "control" : "data");
+  STELLAR_CHECK(q.front().wire_bytes() == tx_wire_bytes_,
+                "link %s wire packet changed mid-serialization "
+                "(%u bytes committed, %u at head)",
+                name_.c_str(), tx_wire_bytes_, q.front().wire_bytes());
+  NetPacket p = std::move(q.front());
+  q.pop_front();
+  const std::uint32_t wire_done = p.wire_bytes();
+  account_queue_change(queue_bytes_ - wire_done);
+  bytes_sent_ += wire_done;
+  ++packets_sent_;
+  // Hand off after propagation; the wire is free for the next packet now.
+  // Constant per-link propagation keeps the in-flight FIFO arrival-ordered,
+  // so the packet joins the FIFO instead of carrying its own closure; a
+  // runtime set_propagation() shrink is the one case needing a re-sort.
+  const SimTime arrival = sim_->now() + config_.propagation;
+  const std::uint64_t seq = sim_->reserve_seq();
+  if (!inflight_.empty() && arrival < inflight_.back().arrival) {
+    auto it = inflight_.end();
+    while (it != inflight_.begin() && arrival < std::prev(it)->arrival) --it;
+    inflight_.insert(it, InFlight{std::move(p), arrival, seq});
+  } else {
+    inflight_.push_back(InFlight{std::move(p), arrival, seq});
+  }
+  schedule_delivery();
+  if (!queue_.empty() || !control_queue_.empty()) {
+    start_transmission();
+  } else {
+    busy_ = false;
+  }
+}
+
+void NetLink::schedule_delivery() {
+  if (inflight_.empty()) return;
+  const InFlight& front = inflight_.front();
+  if (delivery_event_.valid()) {
+    if (delivery_at_ <= front.arrival) return;  // already armed early enough
+    sim_->cancel(delivery_event_);  // a nearer arrival slid in front
+  }
+  delivery_at_ = front.arrival;
+  auto fire = [this] { deliver_due(); };
+  static_assert(InlineAction::fits_inline<decltype(fire)>,
+                "hot-path delivery closure must not heap-allocate");
+  // Arm with the front packet's reserved seq: the event fires with the same
+  // (time, seq) its dedicated propagation event would have carried.
+  delivery_event_ = sim_->schedule_at_seq(front.arrival, front.seq,
+                                          std::move(fire));
+}
+
+void NetLink::deliver_due() {
+  delivery_event_ = EventHandle{};
+  STELLAR_CHECK(!inflight_.empty() &&
+                    inflight_.front().arrival == sim_->now(),
+                "link %s delivery fired with no due packet", name_.c_str());
+  NetPacket p = std::move(inflight_.front().pkt);
+  inflight_.pop_front();
+  STELLAR_AUDIT_ONLY(deliver_ ? ++audit_released_ : ++audit_sink_drops_;)
+  if (deliver_) deliver_(std::move(p));
+  schedule_delivery();
 }
 
 void NetLink::set_down(LinkDrainMode mode) {

@@ -130,7 +130,10 @@ class NetLink {
 
  private:
   void start_transmission();
+  void complete_transmission();
   void account_queue_change(std::uint64_t new_bytes);
+  void deliver_due();
+  void schedule_delivery();
 
   Simulator* sim_;
   std::string name_;
@@ -143,6 +146,28 @@ class NetLink {
   bool busy_ = false;
   bool up_ = true;
   EventHandle tx_event_;  // pending serialization-complete, for kVoid abort
+  // The transmission committed to the wire: which class it came from and
+  // its wire size. Recomputed pointers at fire time + these checks replace
+  // the old captured-queue-pointer closure, so a drain between schedule
+  // and fire can never act on a stale choice of queue.
+  bool tx_from_control_ = false;
+  std::uint32_t tx_wire_bytes_ = 0;
+
+  // Pipelined propagation: packets past serialization sit in an in-flight
+  // FIFO ordered by arrival time, drained by one self-rescheduling
+  // delivery event per link — no per-packet closure, no allocation. Each
+  // packet reserves its tie-break seq the moment serialization completes
+  // (where a per-packet event would have been scheduled), so the delivery
+  // event fires with exactly the (time, seq) the classic two-events-per-hop
+  // engine produced — byte-identical simulation results.
+  struct InFlight {
+    NetPacket pkt;
+    SimTime arrival;
+    std::uint64_t seq;  // reserved at serialization end
+  };
+  std::deque<InFlight> inflight_;
+  EventHandle delivery_event_;
+  SimTime delivery_at_ = SimTime::zero();  // fire time of delivery_event_
 
   std::uint64_t queue_bytes_ = 0;
   std::uint64_t max_queue_bytes_ = 0;

@@ -1,0 +1,159 @@
+// Allocation-free callable for the simulation hot path.
+//
+// InlineAction is a move-only replacement for std::function<void()> whose
+// small-buffer storage is large enough (kInlineBytes) that every hot-path
+// event closure in the engine fits inline — scheduling a packet hop never
+// touches the heap. Callables that exceed the buffer still work (they fall
+// back to a heap box), so cold-path code keeps its ergonomics; hot call
+// sites pin the contract with `static_assert(InlineAction::fits_inline<F>)`.
+//
+// Dispatch is split for speed where it matters:
+//
+//  * invoke_ is a dedicated function pointer, so operator() is one indirect
+//    call — no op-code dispatch on the hot fire path.
+//  * manage_ handles relocate/destroy and is nullptr for trivially copyable,
+//    trivially destructible callables (the common pointer-capture lambdas):
+//    moving those is a plain 64-byte copy and destruction is free, so
+//    scheduler slot reshuffles never make an indirect call per element.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace stellar {
+
+class InlineAction {
+ public:
+  /// Inline storage size. ≥64B by design contract (docs/PERF.md): large
+  /// enough for a captured `this` plus a handful of scalar captures.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  /// True when F is stored inline (no heap allocation on construction).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineBytes &&
+      alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = &inline_invoke<Fn>;
+      if constexpr (!trivial<Fn>) manage_ = &inline_manager<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      invoke_ = &boxed_invoke<Fn>;
+      manage_ = &boxed_manager<Fn>;
+    }
+  }
+
+  InlineAction(InlineAction&& o) noexcept
+      : invoke_(o.invoke_), manage_(o.manage_) {
+    if (invoke_ != nullptr) {
+      if (manage_ == nullptr) {
+        std::memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        manage_(Op::kRelocate, buf_, o.buf_);
+      }
+      o.invoke_ = nullptr;
+      o.manage_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      invoke_ = o.invoke_;
+      manage_ = o.manage_;
+      if (invoke_ != nullptr) {
+        if (manage_ == nullptr) {
+          std::memcpy(buf_, o.buf_, kInlineBytes);
+        } else {
+          manage_(Op::kRelocate, buf_, o.buf_);
+        }
+        o.invoke_ = nullptr;
+        o.manage_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+  using Invoker = void (*)(void* self);
+  using Manager = void (*)(Op, void* self, void* other);
+
+  /// Trivial callables move by memcpy and need no destructor call.
+  template <typename Fn>
+  static constexpr bool trivial =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static void inline_invoke(void* self) {
+    (*std::launder(reinterpret_cast<Fn*>(self)))();
+  }
+
+  template <typename Fn>
+  static void boxed_invoke(void* self) {
+    (**reinterpret_cast<Fn**>(self))();
+  }
+
+  template <typename Fn>
+  static void inline_manager(Op op, void* self, void* other) {
+    switch (op) {
+      case Op::kRelocate: {
+        auto* src = std::launder(reinterpret_cast<Fn*>(other));
+        ::new (self) Fn(std::move(*src));
+        src->~Fn();
+        break;
+      }
+      case Op::kDestroy:
+        std::launder(reinterpret_cast<Fn*>(self))->~Fn();
+        break;
+    }
+  }
+
+  template <typename Fn>
+  static void boxed_manager(Op op, void* self, void* other) {
+    auto** box = reinterpret_cast<Fn**>(self);
+    switch (op) {
+      case Op::kRelocate:
+        *box = *reinterpret_cast<Fn**>(other);
+        break;
+      case Op::kDestroy:
+        delete *box;
+        break;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  Invoker invoke_ = nullptr;
+  Manager manage_ = nullptr;
+};
+
+}  // namespace stellar

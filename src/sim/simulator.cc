@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -7,57 +9,347 @@
 
 namespace stellar {
 
+Simulator::Simulator() = default;
+
+// ---------------------------------------------------------------------------
+// Event record pool
+// ---------------------------------------------------------------------------
+
+std::uint32_t Simulator::alloc_record() {
+  if (free_head_ == kNone) {
+    STELLAR_CHECK(pool_capacity_ + kChunkSize <= (std::size_t{1} << kIdxBits),
+                  "event-record pool exceeded %llu records",
+                  static_cast<unsigned long long>(std::size_t{1} << kIdxBits));
+    auto chunk = std::make_unique<EventRecord[]>(kChunkSize);
+    const auto base = static_cast<std::uint32_t>(pool_capacity_);
+    for (std::size_t i = kChunkSize; i > 0; --i) {
+      chunk[i - 1].next_free = free_head_;
+      free_head_ = base + static_cast<std::uint32_t>(i) - 1;
+    }
+    chunks_.push_back(std::move(chunk));
+    pool_capacity_ += kChunkSize;
+  }
+  const std::uint32_t idx = free_head_;
+  EventRecord& r = record(idx);
+  free_head_ = r.next_free;
+  ++allocated_records_;
+  return idx;
+}
+
+void Simulator::free_record(std::uint32_t idx) {
+  EventRecord& r = record(idx);
+  r.action.reset();
+  r.state = RecState::kFree;
+  ++r.gen;  // invalidate any outstanding handle to this slot
+  r.next_free = free_head_;
+  free_head_ = idx;
+  --allocated_records_;
+}
+
+// ---------------------------------------------------------------------------
+// Overflow heap (far-future events, min-heap by (at, seq))
+// ---------------------------------------------------------------------------
+
+void Simulator::overflow_push(Entry e) {
+  overflow_.push_back(e);
+  std::push_heap(overflow_.begin(), overflow_.end(),
+                 [](const Entry& a, const Entry& b) {
+                   return EntryLess{}(b, a);
+                 });
+}
+
+Simulator::Entry Simulator::overflow_pop() {
+  std::pop_heap(overflow_.begin(), overflow_.end(),
+                [](const Entry& a, const Entry& b) {
+                  return EntryLess{}(b, a);
+                });
+  Entry e = overflow_.back();
+  overflow_.pop_back();
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Wheel placement
+// ---------------------------------------------------------------------------
+
+void Simulator::place_entry(const Entry& e) {
+  for (int l = 0; l < kLevels; ++l) {
+    const std::int64_t tl = e.at_ps >> level_shift(l);
+    const std::int64_t curl =
+        cur_tick_ >> (static_cast<unsigned>(l) * kSlotBits);
+    if (tl - curl < static_cast<std::int64_t>(kSlots)) {
+      WheelLevel& level = levels_[l];
+      const std::size_t s = static_cast<std::size_t>(tl) & kSlotMask;
+      level.slots[s].push_back(e);
+      level.occupied[s >> 6] |= std::uint64_t{1} << (s & 63);
+      ++level.count;
+      return;
+    }
+  }
+  overflow_push(e);
+}
+
+void Simulator::bucket_insert(const Entry& e) {
+  auto it = std::upper_bound(bucket_.begin() +
+                                 static_cast<std::ptrdiff_t>(bucket_pos_),
+                             bucket_.end(), e, EntryLess{});
+  bucket_.insert(it, e);
+}
+
+void Simulator::rewind_to(std::int64_t new_tick) {
+  // The cursor parked on a far-future tick (run_until() peeked past its
+  // deadline) and a nearer event is now being scheduled. Slot residency is
+  // cursor-relative, so pull every wheel entry out and re-place it against
+  // the new, earlier cursor. Rare: only outside-run scheduling after such a
+  // park can trigger it, never event-driven scheduling (which is >= now).
+  std::vector<Entry> all(bucket_.begin() +
+                             static_cast<std::ptrdiff_t>(bucket_pos_),
+                         bucket_.end());
+  bucket_.clear();
+  bucket_pos_ = 0;
+  for (auto& level : levels_) {
+    if (level.count == 0) continue;
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      if (level.slots[s].empty()) continue;
+      all.insert(all.end(), level.slots[s].begin(), level.slots[s].end());
+      level.slots[s].clear();
+    }
+    std::fill(level.occupied.begin(), level.occupied.end(), 0);
+    level.count = 0;
+  }
+  cur_tick_ = new_tick;
+  for (const Entry& e : all) {
+    if ((e.at_ps >> kGranularityShift) == cur_tick_) {
+      bucket_.push_back(e);
+    } else {
+      place_entry(e);  // overflow entries stay put; they merge on advance
+    }
+  }
+  std::sort(bucket_.begin(), bucket_.end(), EntryLess{});
+}
+
+std::int64_t Simulator::next_occupied_tick(int level) const {
+  const WheelLevel& l = levels_[level];
+  if (l.count == 0) return -1;
+  const std::int64_t curl =
+      cur_tick_ >> (static_cast<unsigned>(level) * kSlotBits);
+  // Ring-scan the occupancy bitmap starting just after the cursor slot;
+  // ring distance order is tick order because a slot holds one tick at a
+  // time and all pending ticks are within one wheel revolution.
+  const std::size_t start = static_cast<std::size_t>(curl + 1) & kSlotMask;
+  std::size_t word = start >> 6;
+  std::uint64_t bits = l.occupied[word] & (~std::uint64_t{0} << (start & 63));
+  for (std::size_t scanned = 0; scanned <= kSlots / 64; ++scanned) {
+    if (bits != 0) {
+      const std::size_t s =
+          (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      return l.slots[s].front().at_ps >> level_shift(level);
+    }
+    ++word;
+    if (word == kSlots / 64) word = 0;
+    bits = l.occupied[word];
+  }
+  return -1;  // unreachable while count > 0
+}
+
+void Simulator::cascade(int level, std::int64_t level_tick) {
+  WheelLevel& l = levels_[level];
+  const std::size_t s = static_cast<std::size_t>(level_tick) & kSlotMask;
+  std::vector<Entry> moved;
+  moved.swap(l.slots[s]);
+  l.occupied[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  l.count -= moved.size();
+
+  cur_tick_ = level_tick << (static_cast<unsigned>(level) * kSlotBits);
+
+  // Entries already sitting in the level-0 slot of the new cursor tick share
+  // that tick by construction; they belong to the bucket now.
+  WheelLevel& l0 = levels_[0];
+  const std::size_t s0 = static_cast<std::size_t>(cur_tick_) & kSlotMask;
+  if (!l0.slots[s0].empty()) {
+    l0.count -= l0.slots[s0].size();
+    l0.occupied[s0 >> 6] &= ~(std::uint64_t{1} << (s0 & 63));
+    bucket_.insert(bucket_.end(), l0.slots[s0].begin(), l0.slots[s0].end());
+    l0.slots[s0].clear();
+  }
+
+  for (const Entry& e : moved) {
+    if (tombstones_ != 0 &&
+        record(entry_idx(e)).state == RecState::kCancelled) {
+      // Sweep tombstones on the way down instead of carrying them along.
+      free_record(entry_idx(e));
+      --tombstones_;
+      continue;
+    }
+    if ((e.at_ps >> kGranularityShift) == cur_tick_) {
+      bucket_.push_back(e);
+    } else {
+      place_entry(e);
+    }
+  }
+}
+
+bool Simulator::advance_to_next_bucket() {
+  bucket_.clear();
+  bucket_pos_ = 0;
+  for (;;) {
+    if (!bucket_.empty()) {
+      // A cascade (or slot/overflow move) established the active tick; fold
+      // in any overflow entries that share it and expose the sorted bucket.
+      while (!overflow_.empty() &&
+             (overflow_.front().at_ps >> kGranularityShift) == cur_tick_) {
+        bucket_.push_back(overflow_pop());
+      }
+      std::sort(bucket_.begin(), bucket_.end(), EntryLess{});
+      return true;
+    }
+    const std::int64_t t0 = next_occupied_tick(0);
+    const std::int64_t t1 = next_occupied_tick(1);
+    const std::int64_t t1win = t1 >= 0 ? t1 << kSlotBits : -1;
+    const std::int64_t tov =
+        overflow_.empty() ? -1 : overflow_.front().at_ps >> kGranularityShift;
+    if (t0 < 0 && t1win < 0 && tov < 0) return false;
+    // Cascade the outer wheel when its window opens first. Ties go to the
+    // cascade: its window may share the tick with level-0/overflow entries,
+    // and the bucket merge above reunites them.
+    if (t1win >= 0 && (t0 < 0 || t1win <= t0) && (tov < 0 || t1win <= tov)) {
+      cascade(1, t1);
+      continue;
+    }
+    if (t0 >= 0 && (tov < 0 || t0 <= tov)) {
+      cur_tick_ = t0;
+      WheelLevel& l0 = levels_[0];
+      const std::size_t s = static_cast<std::size_t>(t0) & kSlotMask;
+      bucket_.swap(l0.slots[s]);
+      l0.occupied[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+      l0.count -= bucket_.size();
+      continue;
+    }
+    cur_tick_ = tov;
+    while (!overflow_.empty() &&
+           (overflow_.front().at_ps >> kGranularityShift) == cur_tick_) {
+      bucket_.push_back(overflow_pop());
+    }
+  }
+}
+
+std::uint32_t Simulator::peek_live() {
+  for (;;) {
+    while (bucket_pos_ < bucket_.size()) {
+      const Entry& e = bucket_[bucket_pos_];
+      const std::uint32_t idx = entry_idx(e);
+      if (bucket_pos_ + 1 < bucket_.size()) {
+        // The next record is touched either way (tombstone sweep or the
+        // next peek); overlap its load with this event's work.
+        __builtin_prefetch(&record(entry_idx(bucket_[bucket_pos_ + 1])));
+      }
+      if (tombstones_ != 0 && record(idx).state == RecState::kCancelled) {
+        free_record(idx);
+        --tombstones_;
+        ++bucket_pos_;
+        continue;
+      }
+      return idx;
+    }
+    if (!advance_to_next_bucket()) return kNone;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
 EventHandle Simulator::schedule_at(SimTime at, Action action) {
+  return schedule_at_seq(at, next_seq_++, std::move(action));
+}
+
+EventHandle Simulator::schedule_at_seq(SimTime at, std::uint64_t reserved_seq,
+                                       Action action) {
   if (at < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(action)});
-  pending_ids_.insert(id);
+  STELLAR_DCHECK(reserved_seq < next_seq_,
+                 "seq %llu was never reserved (next is %llu)",
+                 static_cast<unsigned long long>(reserved_seq),
+                 static_cast<unsigned long long>(next_seq_));
+  STELLAR_CHECK(reserved_seq < (std::uint64_t{1} << (64 - kIdxBits)),
+                "event seq space exhausted");
+  const std::uint32_t idx = alloc_record();
+  EventRecord& r = record(idx);
+  r.at_ps = at.ps();
+  r.state = RecState::kPending;
+  r.action = std::move(action);
+  const Entry e{at.ps(), reserved_seq << kIdxBits | idx};
+  const std::int64_t t0 = at.ps() >> kGranularityShift;
+  if (t0 < cur_tick_) rewind_to(t0);
+  if (t0 == cur_tick_) {
+    bucket_insert(e);
+  } else if (static_cast<std::uint64_t>(t0 - cur_tick_) < kSlots) {
+    // Hot path: almost every event lands in the level-0 window.
+    WheelLevel& l0 = levels_[0];
+    const std::size_t s = static_cast<std::size_t>(t0) & kSlotMask;
+    l0.slots[s].push_back(e);
+    l0.occupied[s >> 6] |= std::uint64_t{1} << (s & 63);
+    ++l0.count;
+  } else {
+    place_entry(e);
+  }
   ++live_events_;
-  return EventHandle{id};
+  ++pending_count_;
+  return EventHandle{(static_cast<std::uint64_t>(idx) + 1) << 32 | r.gen};
 }
 
 bool Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  auto it = pending_ids_.find(handle.id());
-  if (it == pending_ids_.end()) return false;
-  pending_ids_.erase(it);
-  cancelled_.insert(handle.id());
+  const std::uint64_t id = handle.id();
+  const std::uint64_t slot = id >> 32;
+  if (slot == 0 || slot > pool_capacity_) return false;
+  const auto idx = static_cast<std::uint32_t>(slot - 1);
+  EventRecord& r = record(idx);
+  if (r.state != RecState::kPending ||
+      r.gen != static_cast<std::uint32_t>(id)) {
+    return false;
+  }
+  r.state = RecState::kCancelled;
+  r.action.reset();  // release captures now; the entry sweeps lazily
   --live_events_;
+  --pending_count_;
+  ++tombstones_;
   return true;
 }
 
-bool Simulator::pop_live(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const&; we must move the action out. The
-    // const_cast is confined here and safe: the element is popped right
-    // after and never re-compared.
-    Event& top = const_cast<Event&>(queue_.top());
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    out = std::move(top);
-    queue_.pop();
-    pending_ids_.erase(out.id);
-    return true;
-  }
-  return false;
+void Simulator::consume_and_run(std::uint32_t idx) {
+  EventRecord& r = record(idx);
+  STELLAR_CHECK(r.at_ps >= now_.ps(),
+                "event scheduled at %lld ps would run before now=%lld ps",
+                static_cast<long long>(r.at_ps),
+                static_cast<long long>(now_.ps()));
+  now_ = SimTime::picos(r.at_ps);
+  ++bucket_pos_;
+  // Retire the record before invoking: the generation bump kills any
+  // outstanding handle (a self-cancel from inside the action must fail,
+  // as it did when events were popped off the old heap), but the record
+  // joins the free list only after the action returns, so the closure
+  // runs in place — no 64-byte relocation per event — and a reentrant
+  // schedule can never be handed this slot while it executes. All the
+  // counters (including the pool's) drop before the call, so an auditor
+  // running *inside* the action sees consistent double-entry books.
+  r.state = RecState::kFree;
+  ++r.gen;
+  --live_events_;
+  --pending_count_;
+  --allocated_records_;
+  ++executed_;
+  r.action();
+  r.action.reset();
+  r.next_free = free_head_;
+  free_head_ = idx;
 }
 
 bool Simulator::step() {
-  Event ev;
-  if (!pop_live(ev)) return false;
-  STELLAR_CHECK(ev.at >= now_,
-                "event scheduled at %lld ps would run before now=%lld ps",
-                static_cast<long long>(ev.at.ps()),
-                static_cast<long long>(now_.ps()));
-  now_ = ev.at;
-  --live_events_;
-  ++executed_;
-  ev.action();
+  const std::uint32_t idx = peek_live();
+  if (idx == kNone) return false;
+  consume_and_run(idx);
   return true;
 }
 
@@ -69,24 +361,33 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t n = 0;
-  Event ev;
-  while (!queue_.empty()) {
-    if (!pop_live(ev)) break;
-    if (ev.at > deadline) {
-      // Put it back: live event beyond the horizon. Re-push preserving
-      // original seq so ordering stays stable.
-      pending_ids_.insert(ev.id);
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.at;
-    --live_events_;
-    ++executed_;
+  for (;;) {
+    const std::uint32_t idx = peek_live();
+    if (idx == kNone) break;
+    // Live event beyond the horizon: leave it queued — peeking never pops,
+    // so there is nothing to re-push.
+    if (record(idx).at_ps > deadline.ps()) break;
+    consume_and_run(idx);
     ++n;
-    ev.action();
   }
   if (now_ < deadline) now_ = deadline;
   return n;
+}
+
+Simulator::HeapStats Simulator::heap_stats() const {
+  HeapStats st;
+  for (const auto& level : levels_) {
+    for (const auto& slot : level.slots) st.wheel_entries += slot.size();
+  }
+  st.overflow_entries = overflow_.size();
+  st.bucket_entries = bucket_.size() - bucket_pos_;
+  st.queued = st.wheel_entries + st.overflow_entries + st.bucket_entries;
+  st.tombstones = tombstones_;
+  st.pending_ids = pending_count_;
+  st.live_events = live_events_;
+  st.allocated_records = allocated_records_;
+  st.pool_capacity = pool_capacity_;
+  return st;
 }
 
 }  // namespace stellar

@@ -3,15 +3,32 @@
 // Single-threaded, deterministic: events at equal timestamps run in the
 // order they were scheduled (a monotonically increasing sequence number
 // breaks ties), so every experiment is exactly reproducible.
+//
+// Hot-path design (docs/PERF.md has the full write-up):
+//
+//  * Scheduling is a hierarchical timing wheel (calendar queue): two
+//    4096-slot wheels — 8.192 ns slots covering ~33.6 us, then ~33.6 us
+//    slots covering ~137 ms — with a binary min-heap for events beyond the
+//    outer horizon. Schedule and pop are O(1) amortized; only far-future
+//    timers (fault plans, second-scale horizons) ever touch the heap.
+//  * Events live in a pooled slab of records addressed by index; an
+//    EventHandle encodes (index, generation), so cancel() is one array
+//    access plus a generation compare — no hash lookups anywhere.
+//  * Callables are stored as InlineAction (64-byte small-buffer storage),
+//    so scheduling a hot-path event never heap-allocates.
+//
+// Determinism contract: events fire in strict (time, seq) order. Wheel
+// slots are coarser than a picosecond, so each slot is sorted by
+// (time, seq) when it becomes current; cascades and overflow merges
+// preserve the same total order. See tests/sim_determinism_test.cc.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/inline_action.h"
 
 namespace stellar {
 
@@ -30,9 +47,9 @@ class EventHandle {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -45,6 +62,21 @@ class Simulator {
   EventHandle schedule_after(SimTime delay, Action action) {
     return schedule_at(now_ + delay, std::move(action));
   }
+
+  /// Consume and return the next tie-break sequence number without
+  /// scheduling anything. A pipelined producer (e.g. a link draining many
+  /// in-flight packets through one shared event) reserves a seq at the
+  /// moment it would classically have scheduled a per-item event, then
+  /// arms the shared event with schedule_at_seq(): equal-timestamp FIFO
+  /// ordering against every other event stays exactly as if each item had
+  /// its own event.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// Schedule `action` at `at` using a previously reserve_seq()'d tie-break
+  /// sequence number instead of consuming a fresh one. Each reserved seq
+  /// must be used at most once.
+  EventHandle schedule_at_seq(SimTime at, std::uint64_t reserved_seq,
+                              Action action);
 
   /// Cancel a pending event. Returns false if it already ran / was cancelled.
   bool cancel(EventHandle handle);
@@ -63,47 +95,158 @@ class Simulator {
   std::uint64_t pending_events() const { return live_events_; }
   std::uint64_t executed_events() const { return executed_; }
 
-  /// Internal bookkeeping snapshot for the heap-sanity invariant auditor:
-  /// every queued entry is either pending or tombstoned, and the live-event
-  /// counter mirrors the pending-id set.
+  /// Internal bookkeeping snapshot for the scheduler-sanity invariant
+  /// auditor. `queued` is ground truth (the wheels, overflow heap, and
+  /// current bucket are walked); the other totals are double-entry
+  /// counters that must agree with it and with each other.
   struct HeapStats {
-    std::size_t queued = 0;       // entries in the priority queue
-    std::size_t tombstones = 0;   // cancelled ids awaiting lazy removal
-    std::size_t pending_ids = 0;  // ids of schedulable (live) events
+    std::size_t queued = 0;       // entries walked across wheel+heap+bucket
+    std::size_t tombstones = 0;   // cancelled entries awaiting lazy sweep
+    std::size_t pending_ids = 0;  // live (schedulable) entries [counter]
     std::uint64_t live_events = 0;
+    // Breakdown + pool accounting (bench/auditor detail).
+    std::size_t wheel_entries = 0;     // across all wheel levels
+    std::size_t overflow_entries = 0;  // far-future min-heap
+    std::size_t bucket_entries = 0;    // current-slot bucket remainder
+    std::size_t allocated_records = 0; // pool records in use
+    std::size_t pool_capacity = 0;     // pool records ever created
   };
-  HeapStats heap_stats() const {
-    return {queue_.size(), cancelled_.size(), pending_ids_.size(),
-            live_events_};
-  }
+  HeapStats heap_stats() const;
 
  private:
   friend struct SimulatorTestPeer;  // corruption injection in audit tests
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
-    Action action;
 
-    bool operator>(const Event& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
+  // -- Event record pool ------------------------------------------------------
+  //
+  // Records live in fixed chunks (stable addresses) and are recycled
+  // through a free list. A handle id packs (index+1) << 32 | generation;
+  // generation bumps on every recycle, so stale handles can never cancel
+  // a reused slot.
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  enum class RecState : std::uint8_t { kFree, kPending, kCancelled };
+
+  struct EventRecord {
+    InlineAction action;
+    // `at` is only meaningful while pending/cancelled and `next_free` only
+    // while free, so they share storage: the record stays ≤ 96 bytes.
+    union {
+      std::int64_t at_ps;  // pending/cancelled (SimTime is non-trivial)
+      std::uint32_t next_free;
+    };
+    std::uint32_t gen = 0;
+    RecState state = RecState::kFree;
+  };
+
+  static constexpr unsigned kChunkBits = 9;  // 512 records per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+
+  // -- Timing wheel -----------------------------------------------------------
+
+  /// A scheduled entry as stored in wheel slots / overflow / bucket.
+  /// 16 bytes: `key` packs (seq << kIdxBits) | record-index, so comparing
+  /// (at_ps, key) is the unique (time, seq) total execution order (seq is
+  /// unique, so the idx low bits never decide) and sort/cascade moves stay
+  /// cheap. kIdxBits caps the pool at 16M live records and seq at 2^40
+  /// events — both checked, neither reachable in practice.
+  static constexpr unsigned kIdxBits = 24;
+  static constexpr std::uint64_t kIdxMask = (std::uint64_t{1} << kIdxBits) - 1;
+
+  struct Entry {
+    std::int64_t at_ps;
+    std::uint64_t key;
+  };
+  static constexpr std::uint32_t entry_idx(const Entry& e) {
+    return static_cast<std::uint32_t>(e.key & kIdxMask);
+  }
+  /// Inline comparator (std::sort with a function pointer cannot inline the
+  /// compare, which dominated bucket sorting before this).
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at_ps != b.at_ps) return a.at_ps < b.at_ps;
+      return a.key < b.key;
     }
   };
 
-  // Cancellation is lazy: ids land in a tombstone set and the event is
-  // dropped when it surfaces at the heap top, keeping cancel() O(1).
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> pending_ids_;
+  static constexpr int kLevels = 2;
+  static constexpr unsigned kSlotBits = 12;  // 4096 slots per level
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr std::size_t kSlotMask = kSlots - 1;
+  /// Level-0 slot width: 2^13 ps = 8.192 ns — fine enough that a loaded
+  /// fabric puts only a handful of events in each slot, keeping the
+  /// per-slot sort cheap. Level l slot width is 2^(13 + 12*l) ps, so level
+  /// 1 slots span ~33.6 us and the wheels together cover ~137 ms ahead of
+  /// the cursor; only longer timers (fault plans, multi-second horizons)
+  /// reach the overflow heap.
+  static constexpr unsigned kGranularityShift = 13;
+
+  struct WheelLevel {
+    std::vector<std::vector<Entry>> slots{kSlots};
+    std::vector<std::uint64_t> occupied =
+        std::vector<std::uint64_t>(kSlots / 64, 0);
+    std::size_t count = 0;
+  };
+
+  static constexpr unsigned level_shift(int level) {
+    return kGranularityShift + static_cast<unsigned>(level) * kSlotBits;
+  }
+
+  EventRecord& record(std::uint32_t idx) {
+    return chunks_[idx >> kChunkBits][idx & (kChunkSize - 1)];
+  }
+  const EventRecord& record(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkBits][idx & (kChunkSize - 1)];
+  }
+
+  std::uint32_t alloc_record();
+  void free_record(std::uint32_t idx);
+
+  /// Place an entry whose level-0 tick differs from cur_tick_ into the
+  /// right wheel level or the overflow heap.
+  void place_entry(const Entry& e);
+  /// Sorted insert into the active bucket (entry tick == cur_tick_).
+  void bucket_insert(const Entry& e);
+  /// Move the un-drained tail of the bucket back into the wheels and make
+  /// `new_tick` the active tick (scheduling earlier than the cursor after
+  /// run_until() parked it on a far-future slot).
+  void rewind_to(std::int64_t new_tick);
+  /// Smallest pending tick at `level` granularity, or -1 if level empty.
+  std::int64_t next_occupied_tick(int level) const;
+  /// Move one outer-level slot down: its entries land in the level-0
+  /// wheel or the bucket; tombstones are swept on the way.
+  void cascade(int level, std::int64_t level_tick);
+  /// Load the next non-empty slot into bucket_ (sorted). False if drained.
+  bool advance_to_next_bucket();
+  /// Index of the next live event without consuming it, or kNone.
+  /// Sweeps tombstones and advances the wheel cursor as needed.
+  std::uint32_t peek_live();
+  /// Pop the event found by peek_live() and run it.
+  void consume_and_run(std::uint32_t idx);
+
+  void overflow_push(Entry e);
+  Entry overflow_pop();
+
+  // Pool.
+  std::vector<std::unique_ptr<EventRecord[]>> chunks_;
+  std::uint32_t free_head_ = kNone;
+  std::size_t pool_capacity_ = 0;
+  std::size_t allocated_records_ = 0;
+
+  // Scheduler structures.
+  WheelLevel levels_[kLevels];
+  std::vector<Entry> overflow_;  // min-heap by (at, seq)
+  std::vector<Entry> bucket_;    // active tick, sorted ascending
+  std::size_t bucket_pos_ = 0;   // consumed prefix of bucket_
+  std::int64_t cur_tick_ = 0;    // level-0 tick the bucket belongs to
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t live_events_ = 0;
   std::uint64_t executed_ = 0;
-
-  /// Pop events until a live one is found; returns false if queue drained.
-  bool pop_live(Event& out);
+  // Double-entry bookkeeping mirrored by the auditor against `queued`.
+  std::size_t pending_count_ = 0;
+  std::size_t tombstones_ = 0;
 };
 
 }  // namespace stellar

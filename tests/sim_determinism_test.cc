@@ -1,0 +1,277 @@
+// Determinism and scheduler stress tests for the timing-wheel engine.
+//
+// The engine's contract is byte-identical replay: events fire in strict
+// (time, seq) order, so the same workload produces the same trace every
+// run — including under periodic invariant auditing, whose extra events
+// may consume sequence numbers but must not perturb workload ordering.
+// The stress half drives the scheduler through the regimes the fabric
+// benches rely on: equal-timestamp FIFO bursts, cancel-heavy churn, and
+// far-future timers that overflow the ~137 ms wheel horizon into the heap.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/audit.h"
+#include "check/auditors.h"
+#include "collective/traffic.h"
+#include "sim/simulator.h"
+
+using namespace stellar;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic replay of a mini permutation workload.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a stream of 64-bit words.
+struct TraceHash {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  }
+};
+
+struct RunResult {
+  std::uint64_t executed = 0;
+  std::int64_t final_ps = 0;
+  std::uint64_t trace_hash = 0;
+};
+
+/// A scaled-down fig09: 8 endpoints, permutation RDMA writes, sampled
+/// every 50 us. The trace hash folds in time-stamped completion progress
+/// and the final per-link byte/queue counters, so any ordering difference
+/// in the engine shows up even if totals happen to match.
+RunResult run_mini_permutation(bool with_audit) {
+  Simulator sim;
+  AuditRegistry registry;
+
+  FabricConfig fc;
+  fc.segments = 2;
+  fc.hosts_per_segment = 4;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 4;
+  ClosFabric fabric(sim, fc);
+  EngineFleet fleet(sim, fabric);
+
+  if (with_audit) {
+    registry.add(std::make_unique<SimulatorAuditor>(sim));
+    registry.attach_periodic(sim, SimTime::micros(100));
+  }
+
+  std::vector<EndpointId> eps;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::uint32_t h = 0; h < 4; ++h) {
+      eps.push_back(fabric.endpoint(s, h, 0, 0));
+    }
+  }
+
+  PermutationConfig pc;
+  pc.message_bytes = 256 * 1024;
+  pc.transport.algo = MultipathAlgo::kObs;
+  pc.transport.num_paths = 16;
+  pc.seed = 11;
+  PermutationTraffic traffic(fleet, eps, {}, pc);
+  traffic.start();
+
+  TraceHash trace;
+  for (int sample = 0; sample < 20; ++sample) {
+    sim.run_until(sim.now() + SimTime::micros(50));
+    trace.mix(static_cast<std::uint64_t>(sim.now().ps()));
+    trace.mix(traffic.completed_bytes());
+  }
+  traffic.stop();
+
+  for (NetLink* l : fabric.all_tor_uplinks()) {
+    trace.mix(l->bytes_sent());
+    trace.mix(l->max_queue_bytes());
+  }
+
+  RunResult out;
+  out.executed = sim.executed_events();
+  out.final_ps = sim.now().ps();
+  out.trace_hash = trace.h;
+  return out;
+}
+
+TEST(SimDeterminismTest, MiniPermutationReplaysByteIdentical) {
+  const RunResult a = run_mini_permutation(/*with_audit=*/false);
+  const RunResult b = run_mini_permutation(/*with_audit=*/false);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.final_ps, b.final_ps);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_GT(a.executed, 1000u) << "workload too small to be meaningful";
+}
+
+TEST(SimDeterminismTest, PeriodicAuditDoesNotPerturbWorkload) {
+  const RunResult plain = run_mini_permutation(/*with_audit=*/false);
+  const RunResult audited = run_mini_permutation(/*with_audit=*/true);
+  // Audit firings consume seq numbers and add executed events, but the
+  // workload-visible trace must be identical.
+  EXPECT_EQ(plain.final_ps, audited.final_ps);
+  EXPECT_EQ(plain.trace_hash, audited.trace_hash);
+  EXPECT_GT(audited.executed, plain.executed);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler stress: the regimes the wheel must get exactly right.
+// ---------------------------------------------------------------------------
+
+/// Deterministic 64-bit mixer (splitmix64) for stress-test "randomness".
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(SimSchedulerStressTest, EqualTimestampBurstFiresInScheduleOrder) {
+  Simulator sim;
+  const SimTime at = SimTime::micros(5);
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  constexpr int kBurst = 2000;
+  for (int i = 0; i < kBurst; ++i) {
+    handles.push_back(sim.schedule_at(at, [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel every third event after the fact; FIFO order of the survivors
+  // must be untouched.
+  for (int i = 0; i < kBurst; i += 3) EXPECT_TRUE(sim.cancel(handles[i]));
+  sim.run();
+
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kBurst - (kBurst + 2) / 3));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  for (int i : fired) EXPECT_NE(i % 3, 0);
+  EXPECT_EQ(sim.now(), at);
+}
+
+TEST(SimSchedulerStressTest, ReservedSeqKeepsFifoWhenArmedOutOfOrder) {
+  Simulator sim;
+  const SimTime at = SimTime::micros(3);
+  // Reserve tie-break seqs in FIFO order, then arm the events backwards —
+  // execution must follow the reserved order, not the arming order.
+  std::uint64_t seqs[8];
+  for (auto& s : seqs) s = sim.reserve_seq();
+  std::vector<int> fired;
+  for (int i = 7; i >= 0; --i) {
+    sim.schedule_at_seq(at, seqs[i], [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(SimSchedulerStressTest, CancelHeavyChurnDrainsClean) {
+  Simulator sim;
+  std::uint64_t rng = 42;
+  constexpr int kEvents = 20000;
+  std::vector<EventHandle> handles;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const SimTime at = SimTime::nanos(1 + mix64(rng) % 2'000'000);  // ≤2 ms
+    handles.push_back(sim.schedule_at(at, [&fired] { ++fired; }));
+  }
+  // Cancel well over half; double-cancel must report false.
+  std::uint64_t cancelled = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    if (mix64(rng) % 100 < 60) {
+      EXPECT_TRUE(sim.cancel(handles[i]));
+      EXPECT_FALSE(sim.cancel(handles[i]));
+      ++cancelled;
+    }
+  }
+  EXPECT_GT(cancelled, kEvents / 2u);
+  EXPECT_GT(sim.heap_stats().tombstones, 0u);
+
+  const std::uint64_t executed = sim.run();
+  EXPECT_EQ(executed, kEvents - cancelled);
+  EXPECT_EQ(fired, kEvents - cancelled);
+
+  const Simulator::HeapStats s = sim.heap_stats();
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.tombstones, 0u);
+  EXPECT_EQ(s.live_events, 0u);
+  EXPECT_EQ(s.allocated_records, 0u) << "record pool leak";
+}
+
+TEST(SimSchedulerStressTest, FarFutureEventsOverflowAndMergeInOrder) {
+  Simulator sim;
+  std::uint64_t rng = 7;
+  // Mix near events (wheel) with far-future ones (200 ms – 3 s, beyond the
+  // ~137 ms wheel horizon, so they must land in the overflow heap) and a
+  // couple of cancels inside the overflow set.
+  std::vector<EventHandle> far;
+  std::int64_t last_ps = -1;
+  bool monotonic = true;
+  std::uint64_t fired = 0;
+  auto observe = [&] {
+    monotonic = monotonic && sim.now().ps() >= last_ps;
+    last_ps = sim.now().ps();
+    ++fired;
+  };
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_at(SimTime::nanos(1 + mix64(rng) % 1'000'000), observe);
+    far.push_back(sim.schedule_at(
+        SimTime::millis(200) + SimTime::micros(mix64(rng) % 2'800'000),
+        observe));
+  }
+  EXPECT_GT(sim.heap_stats().overflow_entries, 0u)
+      << "far-future events did not reach the overflow heap";
+  for (int i = 0; i < 500; i += 5) EXPECT_TRUE(sim.cancel(far[i]));
+
+  const std::uint64_t executed = sim.run();
+  EXPECT_EQ(executed, 1000u - 100u);
+  EXPECT_EQ(fired, executed);
+  EXPECT_TRUE(monotonic);
+  EXPECT_GE(sim.now(), SimTime::millis(200));
+}
+
+TEST(SimSchedulerStressTest, SchedulingEarlierThanParkedCursorRewinds) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime::millis(1), [&] { fired.push_back(2); });
+  // run_until parks the wheel cursor on the far slot it peeked at...
+  sim.run_until(SimTime::micros(500));
+  EXPECT_TRUE(fired.empty());
+  // ...so an earlier schedule must rewind the cursor, not fire late.
+  sim.schedule_at(SimTime::micros(600), [&] { fired.push_back(1); });
+  sim.schedule_at(SimTime::micros(600), [&] { fired.push_back(11); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 11);
+  EXPECT_EQ(fired[2], 2);
+  EXPECT_EQ(sim.now(), SimTime::millis(1));
+}
+
+TEST(SimSchedulerStressTest, ReentrantSchedulingFromActionsKeepsOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  // Each firing schedules two children at the same future instant; the
+  // engine frees a consumed record only after its action returns, so the
+  // reentrant allocations must not corrupt the pool.
+  std::function<void(int)> spawn = [&](int depth) {
+    fired.push_back(depth);
+    if (depth < 6) {
+      sim.schedule_after(SimTime::nanos(10), [&spawn, depth] {
+        spawn(depth + 1);
+      });
+      sim.schedule_after(SimTime::nanos(10), [&spawn, depth] {
+        spawn(depth + 1);
+      });
+    }
+  };
+  sim.schedule_at(SimTime::nanos(1), [&spawn] { spawn(0); });
+  const std::uint64_t executed = sim.run();
+  EXPECT_EQ(executed, (1u << 7) - 1);  // full binary tree of depth 6
+  EXPECT_EQ(fired.size(), executed);
+  EXPECT_EQ(sim.heap_stats().allocated_records, 0u);
+}
+
+}  // namespace

@@ -3,10 +3,13 @@
 #   1. default build (STELLAR_AUDIT=ON) + the complete test suite
 #   2. the audit-labelled invariant tests on their own (fast signal)
 #   3. the fault-labelled fault-injection/recovery tests on their own
-#   4. ASan+UBSan build + the complete test suite + the fault suite
-#   5. clang-tidy over src/ (skipped gracefully when not installed)
-#   6. STELLAR_AUDIT=OFF build of the bench binaries — proves the audit
-#      instrumentation compiles out of hot paths entirely
+#   4. the sim-labelled engine determinism/stress tests on their own
+#   5. ASan+UBSan build + the complete test suite + the fault and sim
+#      suites
+#   6. clang-tidy over src/ (skipped gracefully when not installed)
+#   7. STELLAR_AUDIT=OFF build of the bench binaries — proves the audit
+#      instrumentation compiles out of hot paths entirely — plus a
+#      sim_core smoke run (wheel-vs-heap cross-check at reduced scale)
 #
 #   tools/ci_checks.sh [--skip-san]
 #
@@ -44,6 +47,12 @@ ctest --test-dir build --output-on-failure -L audit
 step "fault injection suite (ctest -L fault)"
 ctest --test-dir build --output-on-failure -L fault
 
+step "engine determinism/stress suite (ctest -L sim)"
+ctest --test-dir build --output-on-failure -L sim
+
+step "sim_core engine smoke run, default build (cross-check only; audits on)"
+build/bench/sim_core 0.05
+
 if [ "$skip_san" -eq 0 ]; then
   step "ASan+UBSan build + full test suite"
   cmake -B build-san -S . -DSTELLAR_SANITIZE=address,undefined
@@ -51,6 +60,8 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -j"$jobs"
   step "fault injection suite under sanitizers (ctest -L fault)"
   ctest --test-dir build-san --output-on-failure -L fault
+  step "engine determinism/stress suite under sanitizers (ctest -L sim)"
+  ctest --test-dir build-san --output-on-failure -L sim
 else
   step "sanitizer pass skipped (--skip-san)"
 fi
@@ -61,6 +72,9 @@ tools/run_tidy.sh "$repo_root/build"
 step "bench build with audits compiled out (STELLAR_AUDIT=OFF)"
 cmake -B build-bench -S . -DSTELLAR_AUDIT=OFF
 cmake --build build-bench -j"$jobs"
+
+step "sim_core engine smoke run (wheel vs heap cross-check)"
+build-bench/bench/sim_core 0.05
 
 echo
 echo "ci_checks: all gates passed"
