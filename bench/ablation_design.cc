@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/allreduce.h"
 #include "virt/pvdma.h"
 
@@ -84,7 +85,8 @@ AblationResult allreduce_bw(std::uint16_t paths, SimTime rto, double loss,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "ablation");
   engine_meter();  // start the engine wall clock
   print_header(
       "Ablation (a) - shared CC context, 128 paths vs per-path CC's\n"

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/fleet.h"
 #include "rnic/vswitch.h"
 #include "virt/virtio_net.h"
@@ -120,7 +121,8 @@ void monitoring() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "aux");
   engine_meter();  // start the engine wall clock
   problem4();
   problem5();

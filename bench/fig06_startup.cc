@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "virt/hypervisor.h"
 #include "virt/runtime.h"
 
@@ -28,7 +29,8 @@ Hypervisor::BootReport boot_once(bool pvdma, std::uint64_t mem) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig06");
   print_header(
       "Figure 6 - GPU pod startup time (s) vs container memory\n"
       "paper: w/o PVDMA grows to ~390s+ at 1.6TB; with PVDMA <20s flat");

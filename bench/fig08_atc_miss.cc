@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "pcie/atc.h"
 #include "pcie/host_pcie.h"
 #include "rnic/gdr.h"
@@ -65,7 +66,8 @@ GdrTransfer run_round_robin(GdrEngine& engine, const std::vector<IoVa>& bufs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig08");
   print_header(
       "Figure 8 - GDR bandwidth vs message size, 16 connections, 4KiB pages\n"
       "paper: CX6 ATS/ATC droops 190->170->150 Gbps; vStellar eMTT flat "

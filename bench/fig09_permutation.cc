@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/traffic.h"
 #include "common/stats.h"
 
@@ -26,8 +27,10 @@ struct QueueStats {
   double goodput_gbps = 0;
 };
 
-QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths) {
+QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths,
+                           double scale) {
   Simulator sim;
+  if (obs::ObsHub* h = obs::hub()) h->set_clock(&sim);
   FabricConfig fc;
   fc.segments = 2;
   fc.hosts_per_segment = 16;
@@ -56,15 +59,20 @@ QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths) {
   PermutationTraffic traffic(fleet, eps, {}, pc);
 
   traffic.start();
-  // Warm up CC, then measure a 2 ms window.
-  sim.run_until(SimTime::millis(1));
+  // Warm up CC, then measure a 2 ms window (both scaled by the optional
+  // positional argument; scale=1 reproduces the paper tables exactly).
+  const SimTime warmup =
+      SimTime::picos(static_cast<std::int64_t>(1e9 * scale));
+  const SimTime window =
+      SimTime::picos(static_cast<std::int64_t>(2e9 * scale));
+  sim.run_until(warmup);
   fabric.reset_stats();
-  const SimTime window = SimTime::millis(2);
   const std::uint64_t before = traffic.completed_bytes();
   sim.run_until(sim.now() + window);
   const std::uint64_t delivered = traffic.completed_bytes() - before;
   traffic.stop();
   engine_meter().add(sim);
+  if (obs::ObsHub* h = obs::hub()) h->set_clock(nullptr);
 
   QueueStats out;
   RunningStats mean_q, max_q;
@@ -81,8 +89,10 @@ QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   engine_meter();  // start the engine wall clock
+  ObsScope obs_scope(argc, argv, "fig09");
+  const double scale = scale_arg(argc, argv);
   print_header(
       "Figure 9 - ToR uplink queue depth, permutation traffic (32 flows,\n"
       "2 segments, 16 aggs/plane; paper uses 30 servers / 120 flows)\n"
@@ -97,7 +107,7 @@ int main() {
     std::printf("\n--- %u paths per connection ---\n", paths);
     print_row({"algorithm", "mean KiB", "max KiB", "goodput Gbps"});
     for (MultipathAlgo algo : algos) {
-      const QueueStats s = run_permutation(algo, paths);
+      const QueueStats s = run_permutation(algo, paths, scale);
       print_row({multipath_algo_name(algo), fmt(s.mean_kib, 1),
                  fmt(s.max_kib, 1), fmt(s.goodput_gbps, 1)});
     }

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/allreduce.h"
 #include "collective/traffic.h"
 
@@ -130,7 +131,8 @@ double bursty_background_bw(MultipathAlgo algo, std::uint16_t paths) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig10");
   engine_meter();  // start the engine wall clock
   print_header(
       "Figure 10a - test AllReduce bus bandwidth (Gbps) under static\n"

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/allreduce.h"
 
 using namespace stellar;
@@ -68,7 +69,8 @@ double allreduce_bw(MultipathAlgo algo, std::uint16_t paths,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig11");
   engine_meter();  // start the engine wall clock
   print_header(
       "Figure 11 - AllReduce bus bandwidth (Gbps) with a lossy link,\n"

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/allreduce.h"
 #include "fault/fault.h"
 
@@ -113,7 +114,8 @@ Trial one_trial(MultipathAlgo algo, std::uint16_t paths,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig11b");
   engine_meter();  // start the engine wall clock
   print_header(
       "Figure 11b - AllReduce under hard failures (one ToR uplink cut /\n"

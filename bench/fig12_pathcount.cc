@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/fleet.h"
 
 using namespace stellar;
@@ -84,7 +85,8 @@ Imbalance run(std::uint16_t paths) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig12");
   engine_meter();  // start the engine wall clock
   print_header(
       "Figure 12 - ToR uplink imbalance vs paths per connection\n"

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/fleet.h"
 
 using namespace stellar;
@@ -100,7 +101,8 @@ Result run(Stack stack, std::uint64_t msg_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig13");
   engine_meter();  // start the engine wall clock
   print_header(
       "Figure 13 - perftest microbenchmark: one-way latency (us) and\n"

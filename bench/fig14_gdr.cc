@@ -7,12 +7,14 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "core/stellar.h"
 
 using namespace stellar;
 using namespace stellar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig14");
   print_header(
       "Figure 14 - GDR write throughput (Gbps) vs message size\n"
       "paper: vStellar ~393, HyV/MasQ ~141 (36%), bare-metal == vStellar");

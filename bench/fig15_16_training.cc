@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "collective/allreduce.h"
 #include "workload/models.h"
 
@@ -92,7 +93,8 @@ double measure_allreduce_bw(Placement placement, MultipathAlgo algo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "fig15_16");
   engine_meter();  // start the engine wall clock
   // ---- Measure transport bandwidths under both placements -----------------
   const double stellar_reranked =

@@ -8,12 +8,14 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/obs_util.h"
 #include "workload/models.h"
 
 using namespace stellar;
 using namespace stellar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "table1");
   print_header(
       "Table 1 - parallel strategy and communication ratio\n"
       "(computed from the analytic model; paper-measured values in "

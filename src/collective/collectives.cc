@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "check/check.h"
+#include "obs/obs.h"
 
 namespace stellar {
 
@@ -86,6 +87,12 @@ void RingCollective::on_slice_received(std::size_t rank, std::uint32_t lane) {
     if (++finished_ranks_ < ranks_.size()) return;
     running_ = false;
     last_duration_ = fleet_->simulator().now() - started_at_;
+    STELLAR_TRACE_ONLY(
+        obs::count("collective/ring_ops");
+        obs::complete(obs::TraceCat::kCollective, "ring", started_at_,
+                      last_duration_,
+                      obs::TraceArgs{"bytes", static_cast<std::int64_t>(
+                                                  config_.data_bytes)});)
     if (on_complete_) {
       auto cb = std::move(on_complete_);
       on_complete_ = {};
@@ -187,6 +194,12 @@ void ChainBroadcast::on_slice_received(std::size_t rank, std::uint32_t lane) {
   if (rank == ranks_.size() - 1 && received_[rank] == slices_total_) {
     running_ = false;
     last_duration_ = fleet_->simulator().now() - started_at_;
+    STELLAR_TRACE_ONLY(
+        obs::count("collective/broadcast_ops");
+        obs::complete(obs::TraceCat::kCollective, "broadcast", started_at_,
+                      last_duration_,
+                      obs::TraceArgs{"bytes", static_cast<std::int64_t>(
+                                                  config_.data_bytes)});)
     if (on_complete_) {
       auto cb = std::move(on_complete_);
       on_complete_ = {};
@@ -335,6 +348,12 @@ void AllToAll::on_shard_received(std::size_t rank) {
   if (++finished_ranks_ < ranks_.size()) return;
   running_ = false;
   last_duration_ = fleet_->simulator().now() - started_at_;
+  STELLAR_TRACE_ONLY(
+      obs::count("collective/alltoall_ops");
+      obs::complete(obs::TraceCat::kCollective, "alltoall", started_at_,
+                    last_duration_,
+                    obs::TraceArgs{"bytes", static_cast<std::int64_t>(
+                                                config_.data_bytes)});)
   if (on_complete_) {
     auto cb = std::move(on_complete_);
     on_complete_ = {};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace stellar {
 
 PermutationTraffic::PermutationTraffic(EngineFleet& fleet,
@@ -69,8 +71,12 @@ void PermutationTraffic::stop() { running_ = false; }
 
 void PermutationTraffic::repost(std::size_t flow) {
   if (!running_ || conns_[flow]->in_error()) return;
-  conns_[flow]->post_write(config_.message_bytes,
-                           [this, flow] { repost(flow); });
+  conns_[flow]->post_write(config_.message_bytes, [this, flow] {
+    STELLAR_TRACE_ONLY(
+        obs::count("traffic/messages");
+        obs::count("traffic/bytes", config_.message_bytes);)
+    repost(flow);
+  });
 }
 
 std::uint64_t PermutationTraffic::completed_bytes() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/obs.h"
+
 namespace stellar {
 
 namespace {
@@ -49,6 +51,18 @@ void FaultTelemetry::detach() {
 void FaultTelemetry::fire() {
   pending_ = EventHandle{};
   samples_.push_back(snapshot());
+  // Mirror the sample onto the shared registry/trace so fault telemetry
+  // shows up next to every other layer's series.
+  STELLAR_TRACE_ONLY(
+      const Sample& s = samples_.back();
+      obs::gauge_set("fault/errored_qps",
+                     static_cast<std::int64_t>(s.errored_qps));
+      obs::gauge_set("fault/blacklisted_paths",
+                     static_cast<std::int64_t>(s.blacklisted_paths));
+      obs::track(obs::TraceCat::kFault, "goodput_bytes", s.at,
+                 static_cast<std::int64_t>(s.goodput_bytes));
+      obs::track(obs::TraceCat::kFault, "retransmits", s.at,
+                 static_cast<std::int64_t>(s.retransmits));)
   // Re-arm only while other work is queued: the firing that observes an
   // empty queue recorded the drained end state, and the simulation may end.
   if (sim_ != nullptr && !sim_->empty()) {
@@ -77,6 +91,8 @@ void FaultTelemetry::on_fault(std::string label, std::string kind,
   rec.label = std::move(label);
   rec.kind = std::move(kind);
   rec.injected_at = at;
+  STELLAR_TRACE_ONLY(obs::count("fault/injected");
+                     obs::instant(obs::TraceCat::kFault, rec.label, at);)
   faults_.push_back(std::move(rec));
 }
 
@@ -87,6 +103,9 @@ void FaultTelemetry::on_fault_cleared(const std::string& label, SimTime at) {
     if (it->label == label && !it->cleared) {
       it->cleared = true;
       it->cleared_at = at;
+      STELLAR_TRACE_ONLY(
+          obs::count("fault/cleared");
+          obs::instant(obs::TraceCat::kFault, label + "/cleared", at);)
       return;
     }
   }

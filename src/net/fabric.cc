@@ -4,6 +4,7 @@
 #include <string>
 
 #include "check/check.h"
+#include "obs/obs.h"
 
 namespace stellar {
 
@@ -291,6 +292,14 @@ Status ClosFabric::send(NetPacket&& p) {
   p.hop = 0;
   p.sent_at = sim_->now();
   STELLAR_AUDIT_ONLY(++injected_;)
+  STELLAR_TRACE_ONLY(
+      obs::count("fabric/injected");
+      obs::instant(obs::TraceCat::kNet, p.is_ack ? "inject_ack" : "inject",
+                   sim_->now(),
+                   obs::TraceArgs{
+                       "conn", static_cast<std::int64_t>(p.conn_id), "psn",
+                       static_cast<std::int64_t>(p.is_ack ? p.ack_psn : p.psn),
+                       "path", p.path_id});)
   if (trace_) trace_(p, (*p.route)[0], sim_->now());
   (*p.route)[0]->enqueue(std::move(p));
   return Status::ok();
@@ -309,9 +318,13 @@ void ClosFabric::advance(NetPacket&& p) {
     // No engine attached at the destination: the packet is lost. Counted
     // separately so misconfigured experiments are observable.
     ++dropped_no_handler_;
+    STELLAR_TRACE_ONLY(obs::count("fabric/dropped_no_handler");)
     return;
   }
   ++delivered_;
+  STELLAR_TRACE_ONLY(
+      obs::count("fabric/delivered");
+      obs::record_time("fabric/transit_ps", sim_->now() - p.sent_at);)
   handler(std::move(p));
 }
 

@@ -3,6 +3,8 @@
 #include <iterator>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace stellar {
 
 void NetLink::account_queue_change(std::uint64_t new_bytes) {
@@ -12,30 +14,38 @@ void NetLink::account_queue_change(std::uint64_t new_bytes) {
   last_change_ = now;
   queue_bytes_ = new_bytes;
   if (queue_bytes_ > max_queue_bytes_) max_queue_bytes_ = queue_bytes_;
+  STELLAR_TRACE_ONLY(
+      obs::track(obs::TraceCat::kLink, name_, now,
+                 static_cast<std::int64_t>(queue_bytes_));)
 }
 
 void NetLink::enqueue(NetPacket&& p) {
   const std::uint32_t wire = p.wire_bytes();
   if (!up_) {
     ++down_drops_;
+    STELLAR_TRACE_ONLY(obs::count("link/down_drops");)
     STELLAR_AUDIT_ONLY(++audit_ingress_drops_;)
     return;
   }
   if (config_.drop_probability > 0.0 &&
       rng_.chance(config_.drop_probability)) {
     ++random_drops_;
+    STELLAR_TRACE_ONLY(obs::count("link/random_drops");)
     STELLAR_AUDIT_ONLY(++audit_ingress_drops_;)
     return;
   }
   if (queue_bytes_ + wire > config_.queue_capacity_bytes) {
     ++tail_drops_;
+    STELLAR_TRACE_ONLY(obs::count("link/tail_drops");)
     STELLAR_AUDIT_ONLY(++audit_ingress_drops_;)
     return;
   }
+  STELLAR_TRACE_ONLY(obs::count("link/enqueued");)
   STELLAR_AUDIT_ONLY(++audit_accepted_;)
   if (!p.is_ack && queue_bytes_ + wire > config_.ecn_threshold_bytes) {
     p.ecn_marked = true;
     ++ecn_marks_;
+    STELLAR_TRACE_ONLY(obs::count("link/ecn_marks");)
   }
   account_queue_change(queue_bytes_ + wire);
   // Strict priority: control packets (ACKs) bypass queued data, as RoCE

@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace stellar::obs {
+
+std::uint64_t LogHistogram::value_at_rank(std::uint64_t r) const {
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen > r) return bucket_mid(i);
+  }
+  return max_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Mirror PercentileRecorder::percentile(): pos = q*(n-1), interpolate
+  // between the floor and ceil ranks.
+  const double pos = q * static_cast<double>(count_ - 1);
+  const std::uint64_t lo = static_cast<std::uint64_t>(pos);
+  const std::uint64_t hi = std::min(lo + 1, count_ - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double vlo = static_cast<double>(value_at_rank(lo));
+  const double vhi = static_cast<double>(value_at_rank(hi));
+  return vlo + (vhi - vlo) * frac;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+LogHistogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), LogHistogram{}).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+void append_kv(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    append_kv(out, "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+              static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    append_kv(out, "%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+              static_cast<long long>(g.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    append_kv(
+        out,
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"mean\": %llu, \"p50\": %llu, \"p99\": %llu}",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.sum()),
+        static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.max()),
+        static_cast<unsigned long long>(h.mean()),
+        static_cast<unsigned long long>(h.quantile(0.50)),
+        static_cast<unsigned long long>(h.quantile(0.99)));
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_table() const {
+  std::string out;
+  std::size_t width = 0;
+  for (const auto& [name, c] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, g] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, h] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  const int w = static_cast<int>(width);
+  for (const auto& [name, c] : counters_) {
+    append_kv(out, "  %-*s  %llu\n", w, name.c_str(),
+              static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    append_kv(out, "  %-*s  %lld\n", w, name.c_str(),
+              static_cast<long long>(g.value()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    append_kv(out,
+              "  %-*s  n=%llu mean=%llu p50=%llu p99=%llu max=%llu\n", w,
+              name.c_str(), static_cast<unsigned long long>(h.count()),
+              static_cast<unsigned long long>(h.mean()),
+              static_cast<unsigned long long>(h.quantile(0.50)),
+              static_cast<unsigned long long>(h.quantile(0.99)),
+              static_cast<unsigned long long>(h.max()));
+  }
+  return out;
+}
+
+}  // namespace stellar::obs

@@ -1,0 +1,170 @@
+// Deterministic metrics registry: monotonic counters, gauges, and
+// log-bucketed latency histograms.
+//
+// The paper's evaluation (§7) is built on per-layer telemetry — ATC miss
+// rates, pin latency, RTO counts, per-path PSN trajectories. This registry
+// is the simulation-side equivalent: every layer increments named series,
+// and `to_json()` / `to_table()` render a byte-deterministic snapshot so
+// tests can golden the output (see docs/OBSERVABILITY.md for the naming
+// scheme and the determinism contract).
+//
+// Determinism rules:
+//  - names are stored in a std::map, so dump order is lexicographic and
+//    independent of registration order;
+//  - all dumped values are integers (counts, sums, picoseconds) — no
+//    floating-point formatting is ever emitted;
+//  - nothing here reads wall-clock time.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace stellar::obs {
+
+/// Monotonically non-decreasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level (queue depth, pinned bytes, blacklisted paths...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// HDR-style log-bucketed histogram over non-negative integer samples
+/// (typically latencies in picoseconds).
+///
+/// Bucketing: values below 2^kSubBits*2 (= 16) are recorded exactly; above
+/// that, each power-of-two octave is split into 2^kSubBits = 8 sub-buckets,
+/// so the relative bucket width is at most 1/8 (12.5%). `quantile()`
+/// mirrors the exact `PercentileRecorder::percentile()` interpolation using
+/// bucket midpoints, which bounds the estimate error to one bucket width —
+/// the property tests/obs_metrics_property_test.cc locks down.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSub = 1 << kSubBits;  // 8 sub-buckets per octave
+  // Buckets: [0, 2*kSub) exact, then (64 - kSubBits - 1) octaves * kSub.
+  static constexpr int kBuckets = 2 * kSub + (64 - kSubBits - 1) * kSub;
+
+  /// Bucket index for a sample value.
+  static int bucket_index(std::uint64_t v) {
+    if (v < 2ull * kSub) return static_cast<int>(v);
+    const int octave = std::bit_width(v) - 1;               // >= kSubBits + 1
+    const int top = static_cast<int>((v >> (octave - kSubBits)) & (kSub - 1));
+    return ((octave - kSubBits) << kSubBits) + top + kSub;
+  }
+
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_lo(int i) {
+    if (i < 2 * kSub) return static_cast<std::uint64_t>(i);
+    const int u = i - kSub;
+    const int octave = (u >> kSubBits) + kSubBits;
+    const std::uint64_t top = static_cast<std::uint64_t>(u & (kSub - 1));
+    return (kSub + top) << (octave - kSubBits);
+  }
+
+  /// Exclusive upper bound of bucket `i`. The topmost bucket's true bound
+  /// (2^64) is unrepresentable, so it saturates to ~0ull.
+  static std::uint64_t bucket_hi(int i) {
+    if (i < 2 * kSub) return static_cast<std::uint64_t>(i) + 1;
+    const int u = i - kSub;
+    const int octave = (u >> kSubBits) + kSubBits;
+    const std::uint64_t lo = bucket_lo(i);
+    const std::uint64_t hi = lo + (1ull << (octave - kSubBits));
+    return hi > lo ? hi : ~0ull;
+  }
+
+  /// Midpoint of bucket `i` (integer division; exact buckets return the
+  /// sample value itself).
+  static std::uint64_t bucket_mid(int i) {
+    if (i < 2 * kSub) return static_cast<std::uint64_t>(i);
+    return bucket_lo(i) + (bucket_hi(i) - bucket_lo(i)) / 2;
+  }
+
+  void record(std::uint64_t v) {
+    ++counts_[static_cast<std::size_t>(bucket_index(v))];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t mean() const { return count_ ? sum_ / count_ : 0; }
+
+  /// Quantile estimate mirroring PercentileRecorder::percentile(): rank
+  /// pos = q * (n - 1), linear interpolation between the two nearest ranks,
+  /// each rank's value approximated by its bucket midpoint. Returns 0 when
+  /// empty. `q` is clamped to [0, 1].
+  double quantile(double q) const;
+
+ private:
+  /// Bucket-midpoint of the sample at (0-based) rank `r`.
+  std::uint64_t value_at_rank(std::uint64_t r) const;
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// Name → series registry. References returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (std::map nodes are
+/// stable), so hot paths may cache them.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LogHistogram& histogram(std::string_view name);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Visit every counter/gauge in lexicographic name order (used by the
+  /// periodic sampler to mirror levels onto trace counter tracks).
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, c.value());
+  }
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    for (const auto& [name, g] : gauges_) fn(name, g.value());
+  }
+
+  /// Byte-deterministic JSON snapshot: lexicographic name order, integer
+  /// values only. Histograms dump count/sum/min/max/p50/p99 (quantiles
+  /// rendered as integer picoseconds via truncation).
+  std::string to_json() const;
+
+  /// Human-readable aligned table (same order/content as to_json).
+  std::string to_table() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, LogHistogram, std::less<>> histograms_;
+};
+
+}  // namespace stellar::obs

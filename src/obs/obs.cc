@@ -1,0 +1,48 @@
+#include "obs/obs.h"
+
+namespace stellar::obs {
+
+namespace {
+ObsHub* g_hub = nullptr;
+}  // namespace
+
+ObsHub* hub() { return g_hub; }
+
+ObsHub* install_hub(ObsHub* h) {
+  ObsHub* prev = g_hub;
+  g_hub = h;
+  return prev;
+}
+
+void ObsHub::attach_periodic(Simulator& sim, SimTime period) {
+  detach_periodic();
+  periodic_sim_ = &sim;
+  period_ = period;
+  pending_ = sim.schedule_after(period, [this] { fire_periodic(); });
+}
+
+void ObsHub::detach_periodic() {
+  if (periodic_sim_ != nullptr && pending_.valid()) {
+    periodic_sim_->cancel(pending_);
+  }
+  pending_ = EventHandle{};
+  periodic_sim_ = nullptr;
+}
+
+void ObsHub::fire_periodic() {
+  pending_ = EventHandle{};
+  const SimTime at = periodic_sim_->now();
+  metrics_.for_each_gauge([&](const std::string& name, std::int64_t v) {
+    tracer_.counter(TraceCat::kSim, name, at, v);
+  });
+  // Re-arm only while other work is queued (same pattern as AuditRegistry /
+  // FaultTelemetry): the firing that observes an empty queue recorded the
+  // drained end state, and run() must be allowed to terminate.
+  if (!periodic_sim_->empty()) {
+    pending_ = periodic_sim_->schedule_after(period_, [this] {
+      fire_periodic();
+    });
+  }
+}
+
+}  // namespace stellar::obs

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace stellar::obs {
+
+namespace {
+
+constexpr std::string_view kCatNames[kTraceCats] = {
+    "sim",       "pvdma", "atc",  "mtt",   "gdr",
+    "transport", "net",   "link", "fault", "collective",
+};
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::string_view trace_cat_name(TraceCat cat) {
+  return kCatNames[static_cast<int>(cat)];
+}
+
+TraceCat trace_cat_from_name(std::string_view name) {
+  for (int i = 0; i < kTraceCats; ++i) {
+    if (kCatNames[i] == name) return static_cast<TraceCat>(i);
+  }
+  return TraceCat::kCount;
+}
+
+Tracer::Tracer() {
+  for (int i = 0; i < kTraceCats; ++i) {
+    enabled_[i] = true;
+    sample_period_[i] = 1;
+    offered_[i] = 0;
+  }
+}
+
+bool Tracer::set_category_filter(std::string_view csv) {
+  if (csv.empty()) {
+    for (int i = 0; i < kTraceCats; ++i) enabled_[i] = true;
+    return true;
+  }
+  bool want[kTraceCats] = {};
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string_view tok =
+        csv.substr(pos, comma == std::string_view::npos ? csv.size() - pos
+                                                        : comma - pos);
+    if (!tok.empty()) {
+      const TraceCat cat = trace_cat_from_name(tok);
+      if (cat == TraceCat::kCount) return false;
+      want[static_cast<int>(cat)] = true;
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  for (int i = 0; i < kTraceCats; ++i) enabled_[i] = want[i];
+  return true;
+}
+
+bool Tracer::admit(TraceCat cat) {
+  const int c = static_cast<int>(cat);
+  if (!enabled_[c]) return false;
+  const std::uint64_t n = offered_[c]++;
+  if (n % sample_period_[c] != 0) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void Tracer::complete(TraceCat cat, std::string_view name, SimTime ts,
+                      SimTime dur, const TraceArgs& args) {
+  if (!admit(cat)) return;
+  events_.push_back(Event{'X', cat, std::string(name), ts, dur, args});
+}
+
+void Tracer::instant(TraceCat cat, std::string_view name, SimTime ts,
+                     const TraceArgs& args) {
+  if (!admit(cat)) return;
+  events_.push_back(
+      Event{'i', cat, std::string(name), ts, SimTime::zero(), args});
+}
+
+void Tracer::counter(TraceCat cat, std::string_view name, SimTime ts,
+                     std::int64_t value) {
+  if (!admit(cat)) return;
+  events_.push_back(Event{'C', cat, std::string(name), ts, SimTime::zero(),
+                          TraceArgs{"value", value}});
+}
+
+std::string Tracer::to_json() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  // Metadata first: name each category track.
+  for (int i = 0; i < kTraceCats; ++i) {
+    append_fmt(out,
+               "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
+               "\"args\":{\"name\":\"%.*s\"}},\n",
+               i, static_cast<int>(kCatNames[i].size()), kCatNames[i].data());
+  }
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    const Event& ev = events_[e];
+    const int tid = static_cast<int>(ev.cat);
+    switch (ev.phase) {
+      case 'X':
+        append_fmt(out,
+                   "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%lld,"
+                   "\"dur\":%lld,\"name\":\"%s\"",
+                   tid, static_cast<long long>(ev.ts.ps()),
+                   static_cast<long long>(ev.dur.ps()), ev.name.c_str());
+        break;
+      case 'i':
+        append_fmt(out,
+                   "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%lld,"
+                   "\"s\":\"t\",\"name\":\"%s\"",
+                   tid, static_cast<long long>(ev.ts.ps()), ev.name.c_str());
+        break;
+      case 'C':
+        append_fmt(out,
+                   "{\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"ts\":%lld,"
+                   "\"name\":\"%s\"",
+                   tid, static_cast<long long>(ev.ts.ps()), ev.name.c_str());
+        break;
+      default:
+        continue;
+    }
+    if (ev.args.n > 0) {
+      out += ",\"args\":{";
+      for (int a = 0; a < ev.args.n; ++a) {
+        append_fmt(out, "%s\"%s\":%lld", a == 0 ? "" : ",",
+                   ev.args.args[a].key,
+                   static_cast<long long>(ev.args.args[a].value));
+      }
+      out += "}";
+    }
+    out += "},\n";
+  }
+  // Drop the trailing comma (there is always at least the metadata block).
+  out.erase(out.size() - 2);
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (n != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace stellar::obs

@@ -10,6 +10,7 @@
 #include "common/units.h"
 #include "memory/address.h"
 #include "memory/lru.h"
+#include "obs/obs.h"
 #include "pcie/host_pcie.h"
 
 namespace stellar {
@@ -30,12 +31,22 @@ class Atc {
   StatusOr<Lookup> translate(IoVa iova) {
     const IoVa page = iova.align_down(kPage4K);
     if (const Hpa* hit = cache_.get(page.value())) {
+      STELLAR_TRACE_ONLY(obs::count("atc/hits");)
       return Lookup{*hit + iova.page_offset(kPage4K), SimTime::nanos(5), true,
                     true};
     }
     auto ats = fabric_->ats_translate(owner_, page);
     if (!ats.is_ok()) return ats.status();
+    STELLAR_TRACE_ONLY(const std::uint64_t ev_before = cache_.evictions();)
     cache_.put(page.value(), ats.value().hpa.align_down(kPage4K));
+    STELLAR_TRACE_ONLY(
+        obs::count("atc/misses");
+        obs::count("atc/evictions", cache_.evictions() - ev_before);
+        obs::record_time("atc/miss_latency_ps", ats.value().latency);
+        obs::complete_here(obs::TraceCat::kAtc, "ats_translate",
+                           ats.value().latency,
+                           obs::TraceArgs{"iotlb_hit",
+                                          ats.value().iotlb_hit ? 1 : 0});)
     return Lookup{ats.value().hpa + iova.page_offset(kPage4K),
                   ats.value().latency, false, ats.value().iotlb_hit};
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace stellar {
 
 const char* gdr_mode_name(GdrMode mode) {
@@ -86,6 +88,17 @@ GdrTransfer GdrEngine::transfer(IoVa iova, std::uint64_t len) {
 
   out.duration = SimTime::picos(total_ps);
   out.gbps = static_cast<double>(len) * 8.0 / out.duration.sec() / 1e9;
+  STELLAR_TRACE_ONLY(
+      obs::count("gdr/transfers");
+      obs::count("gdr/bytes", len);
+      obs::record_time("gdr/transfer_ps", out.duration);
+      obs::complete_here(
+          obs::TraceCat::kGdr, "transfer", out.duration,
+          obs::TraceArgs{"bytes", static_cast<std::int64_t>(len),
+                         "atc_misses",
+                         static_cast<std::int64_t>(out.atc_misses),
+                         "iotlb_misses",
+                         static_cast<std::int64_t>(out.iotlb_misses)});)
   return out;
 }
 

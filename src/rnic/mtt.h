@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "memory/address.h"
 #include "memory/range_map.h"
+#include "obs/obs.h"
 #include "rnic/verbs.h"
 
 namespace stellar {
@@ -63,10 +64,19 @@ class Mtt {
 
   /// Hardware lookup on the RX/TX pipeline: MR key + virtual address.
   StatusOr<MttEntry> lookup(MrKey key, Gva va) const {
+    STELLAR_TRACE_ONLY(obs::count("mtt/lookups");)
     auto it = regions_.find(key);
-    if (it == regions_.end()) return not_found("Mtt: unknown MR");
+    if (it == regions_.end()) {
+      STELLAR_TRACE_ONLY(obs::count("mtt/misses");)
+      return not_found("Mtt: unknown MR");
+    }
     auto target = it->second.map.translate(va);
-    if (!target.is_ok()) return out_of_range("Mtt: address outside MR");
+    if (!target.is_ok()) {
+      STELLAR_TRACE_ONLY(obs::count("mtt/misses");)
+      return out_of_range("Mtt: address outside MR");
+    }
+    STELLAR_TRACE_ONLY(
+        if (it->second.translated) obs::count("mtt/translated_hits");)
     return MttEntry{target.value().value(), it->second.owner,
                     it->second.translated};
   }

@@ -1,6 +1,7 @@
 #include "rnic/transport.h"
 
 #include "check/check.h"
+#include "obs/obs.h"
 
 namespace stellar {
 
@@ -69,7 +70,10 @@ std::uint64_t RdmaConnection::enqueue_message(std::uint64_t bytes,
   msg.total = bytes;
   msg.tag = tag;
   msg.kind = kind;
+  msg.posted_at = engine_.simulator().now();
   msg.on_complete = std::move(on_complete);
+  STELLAR_TRACE_ONLY(obs::count("transport/messages_posted");
+                     obs::count("transport/bytes_posted", bytes);)
   messages_.emplace(msg_id, std::move(msg));
   unsent_queue_.push_back(msg_id);
   send_more();
@@ -103,12 +107,14 @@ std::uint64_t RdmaConnection::post_read(std::uint64_t bytes,
 }
 
 std::uint16_t RdmaConnection::pick_path() {
+  STELLAR_TRACE_ONLY(obs::count("multipath/picks");)
   std::uint16_t path = selector_->pick_at(engine_.simulator().now());
   if (config_.blacklist_threshold == 0 || blacklist_.empty()) return path;
   const SimTime now = engine_.simulator().now();
   for (int attempt = 0; attempt < 8; ++attempt) {
     auto it = blacklist_.find(path);
     if (it == blacklist_.end()) return path;
+    STELLAR_TRACE_ONLY(obs::count("multipath/blacklist_skips");)
     // Blind hold-down expiry: once the hold elapses the path is simply
     // tried again. In probe mode the path stays out until a probe ACK
     // (note_path_ack) reinstates it.
@@ -128,6 +134,12 @@ void RdmaConnection::note_path_timeout(std::uint16_t path) {
   if (++path_timeout_streak_[path] >= config_.blacklist_threshold) {
     blacklist_[path] =
         engine_.simulator().now() + config_.blacklist_hold;
+    STELLAR_TRACE_ONLY(
+        obs::count("multipath/paths_blacklisted");
+        obs::instant(obs::TraceCat::kTransport, "path_blacklisted",
+                     engine_.simulator().now(),
+                     obs::TraceArgs{"conn", static_cast<std::int64_t>(id_),
+                                    "path", path});)
     if (config_.blacklist_probe) {
       schedule_probe(path, config_.blacklist_hold);
     }
@@ -239,6 +251,7 @@ void RdmaConnection::transmit(std::uint64_t psn, const Outstanding& meta) {
   p.dst = remote_;
   p.path_id = meta.path;
   ++packets_sent_;
+  STELLAR_TRACE_ONLY(obs::count("transport/packets_sent");)
 
   // Stack processing before the wire: a fixed per-packet delay plus the
   // encap engine's sustained-rate pacing (Figure 13's VF+VxLAN tax).
@@ -274,6 +287,8 @@ void RdmaConnection::handle_ack(const NetPacket& ack) {
   outstanding_.erase(it);
 
   const SimTime rtt = engine_.simulator().now() - meta.sent_at;
+  STELLAR_TRACE_ONLY(obs::count("transport/acks");
+                     obs::record_time("transport/rtt_ps", rtt);)
   cc_for(meta.path).on_ack(meta.bytes, ack.ecn_echo, rtt);
   selector_->on_ack(meta.path, rtt, ack.ecn_echo);
   note_path_ack(meta.path);
@@ -288,6 +303,16 @@ void RdmaConnection::handle_ack(const NetPacket& ack) {
     if (msg.acked >= msg.total) {
       completed_bytes_ += msg.total;
       ++completed_messages_;
+      STELLAR_TRACE_ONLY(
+          const SimTime now = engine_.simulator().now();
+          obs::count("transport/messages_completed");
+          obs::record_time("transport/msg_latency_ps", now - msg.posted_at);
+          obs::complete(obs::TraceCat::kTransport, "message", msg.posted_at,
+                        now - msg.posted_at,
+                        obs::TraceArgs{
+                            "conn", static_cast<std::int64_t>(id_), "msg",
+                            static_cast<std::int64_t>(msg.id), "bytes",
+                            static_cast<std::int64_t>(msg.total)});)
       Completion cb = std::move(msg.on_complete);
       messages_.erase(msg_it);
       if (cb) cb();
@@ -342,6 +367,7 @@ void RdmaConnection::on_rto_fire() {
     if (config_.per_path_cc) per_path_inflight_[meta.path] += meta.bytes;
     meta.sent_at = now;
     ++retransmits_;
+    STELLAR_TRACE_ONLY(obs::count("transport/retransmits");)
     fired = true;
     transmit(psn, meta);
   }
@@ -352,6 +378,10 @@ void RdmaConnection::on_rto_fire() {
   }
   if (fired) {
     ++timeouts_;
+    STELLAR_TRACE_ONLY(
+        obs::count("transport/rto_fires");
+        obs::instant(obs::TraceCat::kTransport, "rto_fire", now,
+                     obs::TraceArgs{"conn", static_cast<std::int64_t>(id_)});)
     if (!config_.per_path_cc) cc_->on_timeout();
   }
   arm_rto();
@@ -361,6 +391,11 @@ void RdmaConnection::enter_error(Status reason) {
   if (error_) return;  // terminal: first cause wins
   error_ = true;
   error_status_ = std::move(reason);
+  STELLAR_TRACE_ONLY(
+      obs::count("transport/qp_errors");
+      obs::instant(obs::TraceCat::kTransport, "qp_error",
+                   engine_.simulator().now(),
+                   obs::TraceArgs{"conn", static_cast<std::int64_t>(id_)});)
 
   // Flush all state; pending messages never complete (QP error) — the
   // on_error callback is the failure signal that replaces them.
@@ -478,6 +513,7 @@ void RdmaEngine::handle_data(NetPacket&& p) {
   const bool fresh = state.record(p.psn);
   if (!fresh) {
     ++rx_duplicates_;
+    STELLAR_TRACE_ONLY(obs::count("transport/rx_duplicates");)
     send_ack(p);  // the earlier ACK may have been lost; re-ack
     return;
   }
@@ -485,6 +521,9 @@ void RdmaEngine::handle_data(NetPacket&& p) {
     // Direct Packet Placement: the packet is placed at msg_offset without
     // buffering; we only count it as out-of-order for telemetry.
     ++rx_out_of_order_;
+    STELLAR_TRACE_ONLY(
+        obs::count("transport/rx_out_of_order");
+        obs::record("transport/ooo_depth", state.highest_psn - p.psn);)
   }
   state.highest_psn = std::max(state.highest_psn, p.psn);
   state.any = true;
@@ -497,6 +536,7 @@ void RdmaEngine::handle_data(NetPacket&& p) {
   }
 
   rx_goodput_bytes_ += p.payload;
+  STELLAR_TRACE_ONLY(obs::count("transport/rx_goodput_bytes", p.payload);)
   RxMessageState& msg = state.messages[p.msg_id];
   msg.received += p.payload;
   const bool complete = msg.received >= p.msg_bytes;

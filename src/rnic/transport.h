@@ -145,6 +145,7 @@ class RdmaConnection {
     std::uint64_t acked = 0;
     std::uint32_t tag = 0;
     PacketKind kind = PacketKind::kWrite;
+    SimTime posted_at;  // post time, for the message-lifetime trace span
     Completion on_complete;
   };
 

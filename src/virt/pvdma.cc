@@ -1,6 +1,7 @@
 #include "virt/pvdma.h"
 
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace stellar {
 
@@ -14,6 +15,7 @@ StatusOr<Pvdma::MapResult> Pvdma::prepare_dma(Gpa gpa, std::uint64_t len) {
   if (len == 0) return invalid_argument("Pvdma::prepare_dma: zero length");
   if (pressured_) {
     ++pressured_rejections_;
+    STELLAR_TRACE_ONLY(obs::count("pvdma/pressured_rejections");)
     return resource_exhausted(
         "Pvdma::prepare_dma: pin resources exhausted (injected pressure)");
   }
@@ -27,8 +29,10 @@ StatusOr<Pvdma::MapResult> Pvdma::prepare_dma(Gpa gpa, std::uint64_t len) {
     out.cost += config_.map_cache_lookup;
     if (cache_.lookup(block)) {
       cache_.add_user(block);
+      STELLAR_TRACE_ONLY(obs::count("pvdma/map_cache_hits");)
       continue;
     }
+    STELLAR_TRACE_ONLY(obs::count("pvdma/map_cache_misses");)
     out.cache_hit = false;
     Status s = register_block(block);
     if (!s.is_ok()) return s;
@@ -38,7 +42,18 @@ StatusOr<Pvdma::MapResult> Pvdma::prepare_dma(Gpa gpa, std::uint64_t len) {
     iommu_->note_pinned(bs);
     pinned_bytes_ += bs;
     out.pinned_bytes += bs;
+    STELLAR_TRACE_ONLY(obs::count("pvdma/blocks_pinned");
+                       obs::gauge_add("pvdma/pinned_bytes",
+                                      static_cast<std::int64_t>(bs));)
   }
+  STELLAR_TRACE_ONLY(
+      obs::count("pvdma/prepares");
+      obs::record_time("pvdma/prepare_cost_ps", out.cost);
+      obs::complete_here(
+          obs::TraceCat::kPvdma, "prepare_dma", out.cost,
+          obs::TraceArgs{"bytes", static_cast<std::int64_t>(len), "hit",
+                         out.cache_hit ? 1 : 0, "pinned",
+                         static_cast<std::int64_t>(out.pinned_bytes)});)
   return out;
 }
 
@@ -53,6 +68,7 @@ void Pvdma::release_dma(Gpa gpa, std::uint64_t len) {
       // released) is a pin-lifecycle bug in the caller — the double-unpin
       // class the invariant auditor flags.
       ++double_unpins_;
+      STELLAR_TRACE_ONLY(obs::count("pvdma/double_unpins");)
       LOG_WARN("Pvdma::release_dma: block GPA 0x%llx was never mapped "
                "(double unpin?)",
                static_cast<unsigned long long>(block.value()));
@@ -63,6 +79,9 @@ void Pvdma::release_dma(Gpa gpa, std::uint64_t len) {
       cache_.erase(block);
       iommu_->note_unpinned(bs);
       pinned_bytes_ -= bs < pinned_bytes_ ? bs : pinned_bytes_;
+      STELLAR_TRACE_ONLY(obs::count("pvdma/blocks_unpinned");
+                         obs::gauge_add("pvdma/pinned_bytes",
+                                        -static_cast<std::int64_t>(bs));)
     }
     // else: other users keep the block alive — including any stale device-
     // register sub-mappings it may contain (Figure 5d).

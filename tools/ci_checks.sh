@@ -4,12 +4,16 @@
 #   2. the audit-labelled invariant tests on their own (fast signal)
 #   3. the fault-labelled fault-injection/recovery tests on their own
 #   4. the sim-labelled engine determinism/stress tests on their own
-#   5. ASan+UBSan build + the complete test suite + the fault and sim
+#   5. the obs-labelled observability golden/property tests on their own
+#   6. a fig09 mini trace dump + trace_summarize smoke (the tracer's
+#      byte-determinism and the summarizer's parser, end to end)
+#   7. ASan+UBSan build + the complete test suite + the fault, sim and obs
 #      suites
-#   6. clang-tidy over src/ (skipped gracefully when not installed)
-#   7. STELLAR_AUDIT=OFF build of the bench binaries — proves the audit
-#      instrumentation compiles out of hot paths entirely — plus a
-#      sim_core smoke run (wheel-vs-heap cross-check at reduced scale)
+#   8. clang-tidy over src/ (skipped gracefully when not installed)
+#   9. STELLAR_AUDIT=OFF + STELLAR_TRACE=OFF build of the bench binaries —
+#      proves both instrumentation layers compile out of hot paths
+#      entirely — plus a sim_core smoke run (wheel-vs-heap cross-check at
+#      reduced scale)
 #
 #   tools/ci_checks.sh [--skip-san]
 #
@@ -50,8 +54,19 @@ ctest --test-dir build --output-on-failure -L fault
 step "engine determinism/stress suite (ctest -L sim)"
 ctest --test-dir build --output-on-failure -L sim
 
+step "observability golden/property suite (ctest -L obs)"
+ctest --test-dir build --output-on-failure -L obs
+
 step "sim_core engine smoke run, default build (cross-check only; audits on)"
 build/bench/sim_core 0.05
+
+step "fig09 mini trace + trace_summarize smoke"
+obs_smoke_dir="$(mktemp -d)"
+(cd "$obs_smoke_dir" &&
+  "$repo_root/build/bench/fig09_permutation" 0.02 --trace=mini_trace.json \
+    --trace-sample=256 > fig09_smoke.log &&
+  "$repo_root/build/tools/trace_summarize" mini_trace.json | head -n 5)
+rm -rf "$obs_smoke_dir"
 
 if [ "$skip_san" -eq 0 ]; then
   step "ASan+UBSan build + full test suite"
@@ -62,6 +77,8 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -L fault
   step "engine determinism/stress suite under sanitizers (ctest -L sim)"
   ctest --test-dir build-san --output-on-failure -L sim
+  step "observability suite under sanitizers (ctest -L obs)"
+  ctest --test-dir build-san --output-on-failure -L obs
 else
   step "sanitizer pass skipped (--skip-san)"
 fi
@@ -69,8 +86,8 @@ fi
 step "clang-tidy"
 tools/run_tidy.sh "$repo_root/build"
 
-step "bench build with audits compiled out (STELLAR_AUDIT=OFF)"
-cmake -B build-bench -S . -DSTELLAR_AUDIT=OFF
+step "bench build with audits + tracing compiled out (STELLAR_AUDIT=OFF, STELLAR_TRACE=OFF)"
+cmake -B build-bench -S . -DSTELLAR_AUDIT=OFF -DSTELLAR_TRACE=OFF
 cmake --build build-bench -j"$jobs"
 
 step "sim_core engine smoke run (wheel vs heap cross-check)"
