@@ -1,0 +1,283 @@
+// Control-plane robustness bench: vStellar backend hot-upgrade and VM live
+// migration (the fig06-style companion for the control plane).
+//
+// Three measurements, all byte-deterministic:
+//  A. Host-level live migration sweep — pause/copy/resume of a RunD
+//     container (with a vStellar device, registered MRs and connected QPs)
+//     onto a second StellarHost. Reports pre-copy time, guest-visible
+//     downtime (sub-second by design: the destination resumes on a
+//     pre-warmed microvm shell and re-pins through the Map Cache cold
+//     path), re-pinned bytes, and the snapshot digest.
+//  B. Backend hot-upgrade under load — an AllReduce keeps running while
+//     every RNIC backend is quiesced, serialized, torn down and rebuilt
+//     from its snapshot; in-flight packets are recovered by the 250 us RTO
+//     path. Reports completion overhead vs clean and the goodput dip.
+//  C. Hypervisor hot-upgrade — per-VM snapshot/restore with the virtio
+//     control queues parked; asserts the round trip is byte-identical.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/obs_util.h"
+#include "collective/allreduce.h"
+#include "core/migration.h"
+#include "core/stellar.h"
+#include "fault/telemetry.h"
+
+using namespace stellar;
+using namespace stellar::bench;
+
+namespace {
+
+// -- A. host-level live migration ------------------------------------------
+
+struct MigrationRow {
+  std::uint64_t gib = 0;
+  MigrationReport report;
+};
+
+MigrationRow one_migration(std::uint64_t gib) {
+  StellarHostConfig hc;
+  StellarHost source(hc);
+  StellarHost destination(hc);
+
+  RundContainer src(/*id=*/7, "train-src", gib << 30);
+  RundContainer dst(/*id=*/7, "train-dst", gib << 30);
+  STELLAR_CHECK_OK(source.boot(src).status(), "source boot failed");
+
+  auto dev = source.create_vstellar_device(src, /*rnic_index=*/0);
+  STELLAR_CHECK_OK(dev.status(), "device create failed");
+
+  // A training-like footprint: four host-DRAM MRs (gradient buckets) and
+  // one HBM MR, with a few connected QPs.
+  std::vector<MrKey> mrs;
+  for (int i = 0; i < 4; ++i) {
+    auto gpa = src.alloc(64_MiB, kPage2M);
+    STELLAR_CHECK_OK(gpa.status(), "guest alloc failed");
+    auto mr = dev.value()->register_memory(Gva{0x10000000ull + (i << 28)},
+                                           64_MiB, MemoryOwner::kHostDram,
+                                           gpa.value().value());
+    STELLAR_CHECK_OK(mr.status(), "register_memory failed");
+    mrs.push_back(mr.value().key);
+  }
+  auto hbm = dev.value()->register_memory(Gva{0x7f0000000ull}, 128_MiB,
+                                          MemoryOwner::kGpuHbm, 0, 0);
+  STELLAR_CHECK_OK(hbm.status(), "HBM register failed");
+
+  for (int q = 0; q < 3; ++q) {
+    auto qp = dev.value()->create_qp();
+    STELLAR_CHECK_OK(qp.status(), "create_qp failed");
+    STELLAR_CHECK_OK(
+        dev.value()->connect_qp(qp.value(), /*remote_qp=*/100 + q),
+        "connect_qp failed");
+  }
+
+  auto report = migrate_vm(source, destination, src, dst);
+  STELLAR_CHECK_OK(report.status(), "migration failed");
+
+  // The guest must be fully usable at the destination: same keys, PD check
+  // passes, GDR path intact.
+  auto moved = destination.devices_for_vm(7);
+  STELLAR_CHECK(moved.size() == 1, "device missing at destination");
+  for (MrKey key : mrs) {
+    STELLAR_CHECK(moved[0]->memory_records().count(key) == 1,
+                  "MR key lost in migration");
+  }
+  return MigrationRow{gib, report.value()};
+}
+
+// -- B. backend hot-upgrade under AllReduce --------------------------------
+
+struct UpgradeTrial {
+  double seconds = 0.0;
+  bool completed = false;
+  double goodput_dip = 1.0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t quiesce_drops = 0;
+  std::uint64_t retransmits = 0;
+};
+
+UpgradeTrial upgrade_trial(bool upgrade_mid_run) {
+  Simulator sim;
+  FabricConfig fc;
+  fc.segments = 2;
+  fc.hosts_per_segment = 8;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 8;
+  ClosFabric fabric(sim, fc);
+  EngineFleet fleet(sim, fabric);
+
+  std::vector<EndpointId> ranks;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ranks.push_back(fabric.endpoint(i % 2, i / 2, 0, 0));
+  }
+  AllReduceConfig cfg;
+  cfg.data_bytes = 32_MiB;
+  cfg.transport.algo = MultipathAlgo::kObs;
+  cfg.transport.num_paths = 16;
+  RingAllReduce ar(fleet, ranks, cfg);
+
+  FaultTelemetry telemetry;
+  fleet.for_each_engine(
+      [&](RdmaEngine& engine) { telemetry.watch_engine(&engine); });
+  telemetry.attach(sim, SimTime::micros(50));
+
+  UpgradeTrial out;
+  ar.start([&] { out.completed = true; });
+
+  if (upgrade_mid_run) {
+    // Quarter of the clean duration in: quiesce + snapshot-restart every
+    // backend. Packets in flight across the window are lost and recovered
+    // by the RTO path.
+    sim.schedule_at(SimTime::micros(400), [&] {
+      fleet.for_each_engine([&](RdmaEngine& engine) {
+        engine.quiesce(SimTime::micros(30));
+        auto snap = engine.hot_restart();
+        STELLAR_CHECK_OK(snap.status(), "hot_restart failed");
+        out.snapshot_bytes += snap.value().size();
+      });
+    });
+  }
+
+  sim.run_until(SimTime::millis(400));
+  STELLAR_CHECK_OK(ar.status(), "AllReduce errored");
+  STELLAR_CHECK(out.completed, "AllReduce stalled");
+  out.seconds = ar.last_duration().sec();
+  out.retransmits = ar.total_retransmits();
+  fleet.for_each_engine([&](RdmaEngine& engine) {
+    out.quiesce_drops += engine.quiesce_drops();
+  });
+  for (const auto& a : telemetry.analyze()) out.goodput_dip = a.goodput_dip;
+  engine_meter().add(sim);
+  return out;
+}
+
+// -- C. hypervisor hot-upgrade ---------------------------------------------
+
+struct HypUpgradeRow {
+  Hypervisor::HotUpgradeReport report;
+  std::size_t devices = 0;
+};
+
+HypUpgradeRow hypervisor_upgrade() {
+  StellarHost host;
+  std::vector<std::unique_ptr<RundContainer>> containers;
+  for (VmId vm = 1; vm <= 4; ++vm) {
+    containers.push_back(std::make_unique<RundContainer>(
+        vm, "vm" + std::to_string(vm), 16ull << 30));
+    STELLAR_CHECK_OK(host.boot(*containers.back()).status(), "boot failed");
+    auto dev = host.create_vstellar_device(*containers.back(), vm % 4);
+    STELLAR_CHECK_OK(dev.status(), "device create failed");
+    // Distinct guest-physical layouts so the VMs' pinned blocks land on
+    // disjoint IOMMU ranges.
+    containers.back()->set_alloc_cursor(vm * (1ull << 30));
+    auto gpa = containers.back()->alloc(32_MiB, kPage2M);
+    STELLAR_CHECK_OK(gpa.status(), "alloc failed");
+    auto mr = dev.value()->register_memory(Gva{0x20000000}, 32_MiB,
+                                           MemoryOwner::kHostDram,
+                                           gpa.value().value());
+    STELLAR_CHECK_OK(mr.status(), "register failed");
+  }
+  auto report = host.hypervisor().hot_upgrade();
+  STELLAR_CHECK_OK(report.status(), "hot_upgrade failed");
+  return HypUpgradeRow{report.value(), host.vstellar_device_count()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ObsScope obs_scope(argc, argv, "migration");
+  engine_meter();
+  print_header(
+      "Control-plane robustness - VM live migration + backend hot-upgrade\n"
+      "paper: vStellar's paravirt control path makes the backend a process\n"
+      "that can be swapped or moved without guest cooperation");
+
+  JsonResult json("migration");
+
+  std::printf("\n--- A. live migration (pause/copy/resume, 100 Gbps stream) ---\n");
+  print_row({"memory", "precopy ms", "downtime ms", "rounds", "repin MiB",
+             "mrs", "qps", "digest"},
+            12);
+  for (std::uint64_t gib : {16ull, 32ull, 64ull}) {
+    const MigrationRow row = one_migration(gib);
+    const MigrationReport& r = row.report;
+    print_row({std::to_string(gib) + " GiB", fmt(r.precopy_time.sec() * 1e3, 1),
+               fmt(r.downtime.sec() * 1e3, 1),
+               std::to_string(r.precopy_rounds),
+               fmt(static_cast<double>(r.repinned_bytes) / (1 << 20), 0),
+               std::to_string(r.mrs), std::to_string(r.qps),
+               r.digest.substr(0, 8)},
+              12);
+    json.add_row(
+        {{"part", jstr("live_migration")},
+         {"memory_gib", jint(static_cast<long long>(row.gib))},
+         {"precopy_ms", jnum(r.precopy_time.sec() * 1e3, 4)},
+         {"downtime_ms", jnum(r.downtime.sec() * 1e3, 4)},
+         {"precopy_rounds", jint(r.precopy_rounds)},
+         {"chunks_final", jint(static_cast<long long>(r.chunks_final))},
+         {"snapshot_bytes", jint(static_cast<long long>(r.snapshot_bytes))},
+         {"repinned_bytes", jint(static_cast<long long>(r.repinned_bytes))},
+         {"mrs", jint(static_cast<long long>(r.mrs))},
+         {"qps", jint(static_cast<long long>(r.qps))},
+         {"digest", jstr(r.digest)}});
+  }
+
+  std::printf("\n--- B. backend hot-upgrade mid-AllReduce (16 ranks, 32 MiB) ---\n");
+  const UpgradeTrial clean = upgrade_trial(false);
+  const UpgradeTrial upgraded = upgrade_trial(true);
+  const double overhead =
+      clean.seconds > 0.0 ? 100.0 * (upgraded.seconds / clean.seconds - 1.0)
+                          : 0.0;
+  print_row({"run", "ms", "overhead", "dip", "drops", "retx", "snap KiB"}, 12);
+  print_row({"clean", fmt(clean.seconds * 1e3, 2), "-",
+             fmt(clean.goodput_dip, 2), "0",
+             std::to_string(clean.retransmits), "-"},
+            12);
+  print_row({"hot-upgrade", fmt(upgraded.seconds * 1e3, 2),
+             fmt(overhead, 1) + "%", fmt(upgraded.goodput_dip, 2),
+             std::to_string(upgraded.quiesce_drops),
+             std::to_string(upgraded.retransmits),
+             fmt(static_cast<double>(upgraded.snapshot_bytes) / 1024, 1)},
+            12);
+  json.add_row(
+      {{"part", jstr("hot_upgrade_allreduce")},
+       {"clean_ms", jnum(clean.seconds * 1e3, 4)},
+       {"upgraded_ms", jnum(upgraded.seconds * 1e3, 4)},
+       {"overhead_pct", jnum(overhead, 2)},
+       {"goodput_dip", jnum(upgraded.goodput_dip, 4)},
+       {"quiesce_drops", jint(static_cast<long long>(upgraded.quiesce_drops))},
+       {"retransmits", jint(static_cast<long long>(upgraded.retransmits))},
+       {"snapshot_bytes",
+        jint(static_cast<long long>(upgraded.snapshot_bytes))}});
+
+  std::printf("\n--- C. hypervisor hot-upgrade (4 VMs, virtio parked) ---\n");
+  const HypUpgradeRow hyp = hypervisor_upgrade();
+  print_row({"vms", "devices", "snap KiB", "roundtrip", "stalled"}, 12);
+  print_row({std::to_string(hyp.report.vms), std::to_string(hyp.devices),
+             fmt(static_cast<double>(hyp.report.snapshot_bytes) / 1024, 1),
+             hyp.report.roundtrip_identical ? "identical" : "DIVERGED",
+             std::to_string(hyp.report.stalled_commands)},
+            12);
+  json.add_row(
+      {{"part", jstr("hypervisor_hot_upgrade")},
+       {"vms", jint(static_cast<long long>(hyp.report.vms))},
+       {"snapshot_bytes",
+        jint(static_cast<long long>(hyp.report.snapshot_bytes))},
+       {"roundtrip_identical", hyp.report.roundtrip_identical ? "true"
+                                                              : "false"},
+       {"stalled_commands",
+        jint(static_cast<long long>(hyp.report.stalled_commands))}});
+
+  json.write();
+  std::printf(
+      "\nReading: downtime is dominated by the per-GiB resume overhead and\n"
+      "stays sub-second for training pods; MR keys and QP numbers survive\n"
+      "the move verbatim, and host-DRAM working sets re-pin lazily at the\n"
+      "destination (Map Cache cold path). The backend swap under load costs\n"
+      "roughly one quiesce window + one RTO of goodput.\n");
+  engine_meter().report();
+  return 0;
+}

@@ -112,14 +112,18 @@ void PinAccountingAuditor::audit(AuditReport& report) const {
 
   // Conversely, no IOMMU range may outlive its block: anything mapped
   // outside the resident set is a stale entry left behind by an unpin.
-  for (const auto& [start, entry] : iommu_->table()) {
-    report.note_check();
-    const Gpa first{start};
-    const Gpa last{start + entry.len - 1};
-    if (!cache.contains(first) || !cache.contains(last)) {
-      report.fail(name(), "stale IOMMU mapping [" + hex(start) + ", " +
-                              hex(start + entry.len) +
-                              ") outside any resident Map Cache block");
+  // Only checkable when this PVDMA owns the IOMMU — on a shared IOMMU the
+  // other guests' live mappings are indistinguishable from stale ones.
+  if (exclusive_iommu_) {
+    for (const auto& [start, entry] : iommu_->table()) {
+      report.note_check();
+      const Gpa first{start};
+      const Gpa last{start + entry.len - 1};
+      if (!cache.contains(first) || !cache.contains(last)) {
+        report.fail(name(), "stale IOMMU mapping [" + hex(start) + ", " +
+                                hex(start + entry.len) +
+                                ") outside any resident Map Cache block");
+      }
     }
   }
 

@@ -32,6 +32,8 @@ RingCollective::RingCollective(EngineFleet& fleet,
   sent_.assign(n * config_.slices, 0);
   recv_.assign(n * config_.slices, 0);
   rank_received_total_.assign(n, 0);
+  paused_.assign(n, 0);
+  deferred_.assign(n, {});
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t next = (i + 1) % n;
@@ -62,6 +64,8 @@ void RingCollective::start(std::function<void()> on_complete) {
   std::fill(sent_.begin(), sent_.end(), 0);
   std::fill(recv_.begin(), recv_.end(), 0);
   std::fill(rank_received_total_.begin(), rank_received_total_.end(), 0);
+  std::fill(paused_.begin(), paused_.end(), 0);
+  for (auto& lanes : deferred_) lanes.clear();
   started_at_ = fleet_->simulator().now();
   for (std::size_t i = 0; i < ranks_.size(); ++i) {
     for (std::uint32_t lane = 0; lane < config_.slices; ++lane) {
@@ -72,7 +76,26 @@ void RingCollective::start(std::function<void()> on_complete) {
 
 void RingCollective::send_unit(std::size_t rank, std::uint32_t lane) {
   ++sent_at(rank, lane);
+  if (paused_[rank] != 0) {
+    // Rank is being checkpointed/migrated: account the unit as sent (the
+    // flow-control guard in on_slice_received keys off sent_) but hold the
+    // actual transmission until resume_rank replays it.
+    deferred_[rank].push_back(lane);
+    return;
+  }
   to_next_[rank]->post_write(slice_bytes_, {}, lane);
+}
+
+void RingCollective::pause_rank(std::size_t rank) { paused_[rank] = 1; }
+
+void RingCollective::resume_rank(std::size_t rank) {
+  if (paused_[rank] == 0) return;
+  paused_[rank] = 0;
+  std::vector<std::uint32_t> lanes;
+  lanes.swap(deferred_[rank]);
+  for (std::uint32_t lane : lanes) {
+    to_next_[rank]->post_write(slice_bytes_, {}, lane);
+  }
 }
 
 void RingCollective::on_slice_received(std::size_t rank, std::uint32_t lane) {

@@ -52,6 +52,14 @@ class RingCollective {
 
   std::uint64_t total_retransmits() const;
 
+  /// Migration hook: while paused, a rank's state machine keeps consuming
+  /// receiver-side completions but defers its own transmissions (the VM is
+  /// checkpointed/moved); resume_rank replays everything deferred. Peers
+  /// simply see the rank go quiet — no protocol change.
+  void pause_rank(std::size_t rank);
+  void resume_rank(std::size_t rank);
+  bool rank_paused(std::size_t rank) const { return paused_[rank] != 0; }
+
  private:
   void on_slice_received(std::size_t rank, std::uint32_t lane);
   void send_unit(std::size_t rank, std::uint32_t lane);
@@ -69,6 +77,8 @@ class RingCollective {
   std::vector<std::uint32_t> sent_;
   std::vector<std::uint32_t> recv_;
   std::vector<std::uint32_t> rank_received_total_;
+  std::vector<char> paused_;
+  std::vector<std::vector<std::uint32_t>> deferred_;  // lanes per paused rank
 
   bool running_ = false;
   std::size_t finished_ranks_ = 0;

@@ -1,0 +1,184 @@
+// Deterministic byte-stable snapshot encoding for control-plane state.
+//
+// The vStellar robustness story (backend hot-upgrade, VM live migration)
+// rests on serializing guest-visible state into bytes that are *identical*
+// across runs and across a serialize -> restore -> serialize round trip.
+// The encoding is therefore deliberately primitive: fixed-width
+// little-endian integers, length-prefixed strings, and tagged sections —
+// no pointers, no varints, no platform-dependent layout. Components that
+// keep state in unordered containers must emit entries in sorted key order.
+//
+// Doubles are encoded by bit pattern (IEEE-754 via memcpy), so a restored
+// value is bit-exact and the round trip stays byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace stellar {
+
+/// Four-character section tags make snapshot corruption diagnosable: a
+/// reader that desyncs fails at the next section boundary with the tag it
+/// expected, instead of silently reading garbage integers.
+constexpr std::uint32_t snapshot_tag(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void time(SimTime t) { i64(t.ps()); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  void section(std::uint32_t tag) { u32(tag); }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    // Byte-order note: the simulation only targets little-endian hosts (the
+    // whole repo assumes it); memcpy of the native representation is the
+    // deterministic encoding on every supported platform.
+    buf_.append(c, n);
+  }
+
+  std::string buf_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  bool b() { return u8() != 0; }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  SimTime time() { return SimTime::picos(i64()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (pos_ + n > bytes_.size()) {
+      failed_ = true;
+      return {};
+    }
+    std::string out(bytes_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Consume a section marker, failing loudly on a tag mismatch (the
+  /// reader is desynchronized or the snapshot is from a different layout).
+  Status expect_section(std::uint32_t tag) {
+    const std::uint32_t got = u32();
+    if (failed_) return out_of_range("snapshot: truncated before section");
+    if (got != tag) {
+      return invalid_argument("snapshot: section tag mismatch (got " +
+                              std::to_string(got) + ", want " +
+                              std::to_string(tag) + ")");
+    }
+    return Status::ok();
+  }
+
+  /// False once any read ran past the end of the buffer.
+  bool ok() const { return !failed_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  Status finish() const {
+    if (failed_) return out_of_range("snapshot: truncated");
+    if (!exhausted()) {
+      return invalid_argument("snapshot: trailing bytes (" +
+                              std::to_string(remaining()) + ")");
+    }
+    return Status::ok();
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      failed_ = true;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// FNV-1a 64-bit digest, rendered as fixed-width hex: the byte-stability
+/// fingerprint benches embed in their JSON output.
+inline std::string snapshot_digest(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace stellar

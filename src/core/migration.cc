@@ -1,0 +1,103 @@
+#include "core/migration.h"
+
+#include <algorithm>
+
+#include "common/snapshot.h"
+
+namespace stellar {
+
+StatusOr<MigrationReport> migrate_vm(StellarHost& source,
+                                     StellarHost& destination,
+                                     RundContainer& src_container,
+                                     RundContainer& dst_container,
+                                     const MigrationConfig& config) {
+  if (src_container.id() != dst_container.id()) {
+    return invalid_argument("migrate_vm: containers disagree on VM id");
+  }
+  if (src_container.memory_bytes() != dst_container.memory_bytes()) {
+    return invalid_argument("migrate_vm: containers disagree on memory size");
+  }
+  if (!src_container.booted()) {
+    return failed_precondition("migrate_vm: source container not booted");
+  }
+  if (dst_container.booted()) {
+    return failed_precondition("migrate_vm: destination already booted");
+  }
+  if (config.chunk_bytes == 0 || config.copy_rate.bps() <= 0) {
+    return invalid_argument("migrate_vm: bad chunk size or copy rate");
+  }
+  const VmId vm = src_container.id();
+  if (!source.hypervisor().booted(vm)) {
+    return failed_precondition("migrate_vm: VM unknown to source hypervisor");
+  }
+
+  MigrationReport report;
+
+  // -- 1. Pre-copy rounds (guest running) ----------------------------------
+  report.chunks_total =
+      (src_container.memory_bytes() + config.chunk_bytes - 1) /
+      config.chunk_bytes;
+  std::uint64_t dirty = report.chunks_total;
+  while (dirty > config.min_dirty_chunks &&
+         report.precopy_rounds < config.max_precopy_rounds) {
+    report.precopy_time +=
+        config.copy_rate.transmit_time(dirty * config.chunk_bytes);
+    ++report.precopy_rounds;
+    // The guest dirties a fixed fraction of what the round just shipped.
+    dirty = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(dirty) * config.dirty_fraction));
+  }
+  report.chunks_final = dirty;
+
+  // -- 2. Stop-and-copy: pause, ship the residue, serialize ---------------
+  SimTime downtime =
+      config.copy_rate.transmit_time(report.chunks_final * config.chunk_bytes);
+
+  auto vm_blob = source.hypervisor().serialize_vm(vm);
+  if (!vm_blob.is_ok()) return vm_blob.status();
+  auto dev_blob = source.serialize_vm_devices(vm);
+  if (!dev_blob.is_ok()) return dev_blob.status();
+  report.snapshot_bytes = vm_blob.value().size() + dev_blob.value().size();
+  report.digest =
+      snapshot_digest(vm_blob.value() + dev_blob.value());
+  downtime += config.copy_rate.transmit_time(report.snapshot_bytes);
+
+  // Carry the guest allocator cursor: the destination container must hand
+  // out the same GPAs the guest already holds.
+  dst_container.set_alloc_cursor(src_container.alloc_cursor());
+
+  // -- 3. Source teardown: drain pins, drop devices, shut down ------------
+  for (VStellarDevice* dev : source.devices_for_vm(vm)) {
+    for (MrKey key : dev->memory_keys()) {
+      if (Status s = dev->deregister_memory(key); !s.is_ok()) return s;
+    }
+    if (Status s = source.destroy_vstellar_device(dev); !s.is_ok()) return s;
+  }
+  if (Status s = source.shutdown(src_container); !s.is_ok()) return s;
+
+  // -- 4. Destination resume ----------------------------------------------
+  // The destination shell (backing memory, EPT page tables) and the
+  // vStellar devices depend only on the guest's *placement*, which is known
+  // from migration start — a real orchestrator provisions them while
+  // pre-copy streams. Their cost therefore lands in precopy_time; only the
+  // state adoption (MR re-registration + re-pin, QP ladder) is downtime.
+  auto boot = destination.hypervisor().restore_container(dst_container,
+                                                         vm_blob.value());
+  if (!boot.is_ok()) return boot.status();
+  report.precopy_time += boot.value().total;
+
+  auto devs = destination.restore_vm_devices(dst_container, dev_blob.value());
+  if (!devs.is_ok()) return devs.status();
+  report.precopy_time += devs.value().provision_time;
+  downtime += devs.value().control_time;
+
+  report.devices = devs.value().devices;
+  report.mrs = devs.value().mrs;
+  report.qps = devs.value().qps;
+  report.repinned_bytes = devs.value().repinned_bytes;
+  report.downtime = downtime;
+  return report;
+}
+
+}  // namespace stellar

@@ -1,8 +1,13 @@
 #include "core/stellar.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace stellar {
+
+namespace {
+constexpr std::uint32_t kDevicesTag = snapshot_tag('S', 'H', 'D', 'V');
+}  // namespace
 
 StellarHost::StellarHost(StellarHostConfig config)
     : config_(std::move(config)) {
@@ -89,6 +94,153 @@ Status StellarHost::destroy_vstellar_device(VStellarDevice* device) {
   return not_found("StellarHost: unknown vStellar device");
 }
 
+std::vector<VStellarDevice*> StellarHost::devices_for_vm(VmId vm) {
+  std::vector<VStellarDevice*> out;
+  for (const auto& dev : devices_) {
+    if (dev->vm() == vm) out.push_back(dev.get());
+  }
+  return out;
+}
+
+StatusOr<std::string> StellarHost::serialize_vm_devices(VmId vm) const {
+  SnapshotWriter w;
+  w.section(kDevicesTag);
+  w.u32(vm);
+
+  std::vector<const VStellarDevice*> devs;
+  for (const auto& dev : devices_) {
+    if (dev->vm() == vm) devs.push_back(dev.get());
+  }
+  w.u32(static_cast<std::uint32_t>(devs.size()));
+
+  for (const VStellarDevice* dev : devs) {
+    std::size_t rnic_index = rnics_.size();
+    for (std::size_t i = 0; i < rnics_.size(); ++i) {
+      if (rnics_[i].get() == dev->rnic_) rnic_index = i;
+    }
+    if (rnic_index == rnics_.size()) {
+      return internal_error("serialize_vm_devices: device RNIC not owned");
+    }
+    w.u32(static_cast<std::uint32_t>(rnic_index));
+
+    std::vector<MrKey> keys;
+    keys.reserve(dev->mr_records_.size());
+    for (const auto& [key, rec] : dev->mr_records_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    w.u32(static_cast<std::uint32_t>(keys.size()));
+    for (MrKey key : keys) {
+      const VStellarDevice::MrRecord& rec = dev->mr_records_.at(key);
+      w.u32(key);
+      w.u64(rec.va.value());
+      w.u64(rec.len);
+      w.u8(static_cast<std::uint8_t>(rec.owner));
+      w.u64(rec.guest_addr);
+      w.u32(rec.gpu_index);
+    }
+
+    const auto qps = dev->rnic_->verbs().qps_in_pd(dev->pd_);
+    w.u32(static_cast<std::uint32_t>(qps.size()));
+    for (const QueuePair& qp : qps) {
+      w.u32(qp.num);
+      w.u8(static_cast<std::uint8_t>(qp.state));
+      w.u32(qp.remote_qp);
+    }
+  }
+  return w.take();
+}
+
+StatusOr<StellarHost::DeviceRestoreReport> StellarHost::restore_vm_devices(
+    RundContainer& container, const std::string& bytes) {
+  SnapshotReader r(bytes);
+  if (Status s = r.expect_section(kDevicesTag); !s.is_ok()) return s;
+  if (r.u32() != container.id()) {
+    return invalid_argument("restore_vm_devices: VM id mismatch");
+  }
+
+  DeviceRestoreReport report;
+  Hypervisor& hyp = *hypervisor_;
+  const std::uint32_t dev_count = r.u32();
+  for (std::uint32_t d = 0; d < dev_count; ++d) {
+    const std::uint32_t rnic_index = r.u32();
+    auto dev_or = create_vstellar_device(container, rnic_index);
+    if (!dev_or.is_ok()) return dev_or.status();
+    VStellarDevice* dev = dev_or.value();
+    ++report.devices;
+    report.provision_time += dev->creation_time();
+
+    const std::uint32_t mr_count = r.u32();
+    for (std::uint32_t m = 0; m < mr_count; ++m) {
+      const MrKey key = r.u32();
+      VStellarDevice::MrRecord rec;
+      rec.va = Gva{r.u64()};
+      rec.len = r.u64();
+      rec.owner = static_cast<MemoryOwner>(r.u8());
+      rec.guest_addr = r.u64();
+      rec.gpu_index = r.u32();
+
+      report.control_time +=
+          hyp.control_path(dev->vm_).execute(ControlCommand::kRegisterMr);
+      std::uint64_t final_hpa = 0;
+      if (rec.owner == MemoryOwner::kHostDram) {
+        // The destination pin table starts empty: this is the Map Cache
+        // cold path re-pinning the guest's working set on demand.
+        auto pin = hyp.pvdma(dev->vm_).prepare_dma(Gpa{rec.guest_addr},
+                                                   rec.len);
+        if (!pin.is_ok()) return pin.status();
+        report.control_time += pin.value().cost;
+        report.repinned_bytes += pin.value().pinned_bytes;
+        auto hpa = hyp.ept(dev->vm_).translate(Gpa{rec.guest_addr});
+        if (!hpa.is_ok()) return hpa.status();
+        final_hpa = hpa.value().value();
+      } else {
+        if (rec.gpu_index >= gpu_count()) {
+          return out_of_range("restore_vm_devices: gpu index");
+        }
+        final_hpa = gpu_bars_.at(rec.gpu_index).base.value() + rec.guest_addr;
+      }
+
+      MemoryRegion mr{key, dev->pd_, rec.va, rec.len, rec.owner};
+      if (Status s = dev->rnic_->verbs().adopt_mr(mr); !s.is_ok()) return s;
+      if (Status s = dev->rnic_->mtt().register_region(
+              key, rec.va, rec.len, final_hpa, rec.owner, /*translated=*/true);
+          !s.is_ok()) {
+        return s;
+      }
+      if (rec.owner == MemoryOwner::kHostDram) {
+        dev->pinned_ranges_.emplace(key,
+                                    std::make_pair(Gpa{rec.guest_addr},
+                                                   rec.len));
+      }
+      dev->mr_records_.emplace(key, rec);
+      ++report.mrs;
+    }
+
+    const std::uint32_t qp_count = r.u32();
+    for (std::uint32_t q = 0; q < qp_count; ++q) {
+      QueuePair qp;
+      qp.num = r.u32();
+      qp.pd = dev->pd_;
+      qp.state = static_cast<QpState>(r.u8());
+      qp.remote_qp = r.u32();
+
+      auto& control = hyp.control_path(dev->vm_);
+      report.control_time += control.execute(ControlCommand::kCreateQp);
+      // Re-walk the verbs ladder for however far the QP had progressed.
+      const int steps = qp.state == QpState::kInit   ? 1
+                        : qp.state == QpState::kRtr  ? 2
+                        : qp.state == QpState::kRts  ? 3
+                                                     : 0;
+      for (int i = 0; i < steps; ++i) {
+        report.control_time += control.execute(ControlCommand::kModifyQp);
+      }
+      if (Status s = dev->rnic_->verbs().adopt_qp(qp); !s.is_ok()) return s;
+      ++report.qps;
+    }
+  }
+  if (Status s = r.finish(); !s.is_ok()) return s;
+  return report;
+}
+
 GdrEngine StellarHost::make_gdr_engine(GdrMode mode, std::size_t rnic_index) {
   Rnic& rnic = *rnics_.at(rnic_index);
   GdrEngineConfig cfg;
@@ -164,7 +316,19 @@ StatusOr<VStellarDevice::RegisterResult> VStellarDevice::register_memory(
   if (owner == MemoryOwner::kHostDram) {
     pinned_ranges_.emplace(out.key, std::make_pair(Gpa{guest_addr}, len));
   }
+  mr_records_.emplace(
+      out.key,
+      MrRecord{va, len, owner, guest_addr,
+               static_cast<std::uint32_t>(gpu_index)});
   return out;
+}
+
+std::vector<MrKey> VStellarDevice::memory_keys() const {
+  std::vector<MrKey> keys;
+  keys.reserve(mr_records_.size());
+  for (const auto& [key, rec] : mr_records_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 Status VStellarDevice::deregister_memory(MrKey key) {
@@ -175,6 +339,7 @@ Status VStellarDevice::deregister_memory(MrKey key) {
                                                it->second.second);
     pinned_ranges_.erase(it);
   }
+  mr_records_.erase(key);
   (void)rnic_->mtt().deregister(key);
   return rnic_->verbs().deregister_mr(key);
 }

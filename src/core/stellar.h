@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "pcie/atc.h"
@@ -84,6 +86,42 @@ class StellarHost {
   /// GPU `gpu_index`'s memory through `rnic_index`.
   GdrEngine make_gdr_engine(GdrMode mode, std::size_t rnic_index);
 
+  /// All vStellar devices owned by `vm`, in creation order.
+  std::vector<VStellarDevice*> devices_for_vm(VmId vm);
+
+  // -- Live migration ------------------------------------------------------------
+
+  /// Serialize the guest-visible verbs state of every vStellar device owned
+  /// by `vm`: per device the RNIC index, every MR (key, GVA, length, owner,
+  /// guest address, GPU index) and every QP (number, state, remote QP).
+  /// Byte-stable for a given state; restore_vm_devices() rebuilds the
+  /// devices on another host with identical guest-visible keys.
+  StatusOr<std::string> serialize_vm_devices(VmId vm) const;
+
+  struct DeviceRestoreReport {
+    std::size_t devices = 0;
+    std::size_t mrs = 0;
+    std::size_t qps = 0;
+    /// Host-DRAM bytes re-pinned through the PVDMA cold path.
+    std::uint64_t repinned_bytes = 0;
+    /// vStellar device provisioning (sf_create_time + PD setup). Depends
+    /// only on placement, not guest state — a migration orchestrator
+    /// overlaps it with pre-copy, so it is reported separately from the
+    /// downtime-critical control_time.
+    SimTime provision_time;
+    /// Downtime-critical control work: per-MR registration (incl. PVDMA
+    /// re-pin cost) + per-QP re-establishment.
+    SimTime control_time;
+  };
+
+  /// Migration destination: re-create `vm`'s devices from a
+  /// serialize_vm_devices() snapshot. The container must already be
+  /// restored (restore_container): MR registration re-pins guest DRAM
+  /// through PVDMA on demand and rebuilds eMTT entries with the *new* final
+  /// HPAs; MR keys and QP numbers are adopted verbatim.
+  StatusOr<DeviceRestoreReport> restore_vm_devices(RundContainer& container,
+                                                   const std::string& bytes);
+
   const StellarHostConfig& config() const { return config_; }
 
  private:
@@ -127,6 +165,21 @@ class VStellarDevice {
                                            std::size_t gpu_index = 0);
   Status deregister_memory(MrKey key);
 
+  /// Everything needed to re-register an MR on another host (the verbs-side
+  /// MemoryRegion lacks the guest address and GPU index).
+  struct MrRecord {
+    Gva va;
+    std::uint64_t len = 0;
+    MemoryOwner owner = MemoryOwner::kHostDram;
+    std::uint64_t guest_addr = 0;
+    std::uint32_t gpu_index = 0;
+  };
+  const std::unordered_map<MrKey, MrRecord>& memory_records() const {
+    return mr_records_;
+  }
+  /// Registered MR keys in sorted order (deterministic iteration).
+  std::vector<MrKey> memory_keys() const;
+
   StatusOr<QpNum> create_qp();
   Status connect_qp(QpNum qp, QpNum remote_qp);
 
@@ -155,6 +208,8 @@ class VStellarDevice {
   /// Host-DRAM MRs: the guest-physical range PVDMA pinned, needed again at
   /// deregistration (the MR itself records only the GVA).
   std::unordered_map<MrKey, std::pair<Gpa, std::uint64_t>> pinned_ranges_;
+  /// Full registration arguments per MR, for migration re-registration.
+  std::unordered_map<MrKey, MrRecord> mr_records_;
 };
 
 }  // namespace stellar

@@ -1,0 +1,44 @@
+// Chaos-soak plan generation: seeded random FaultPlans composing every
+// fault kind the injector knows — data-plane faults (PR 2) plus the
+// control-plane kinds (backend restart, live migration) — against a live
+// workload. The same seed always produces the same plan, so a soak failure
+// replays byte-for-byte.
+//
+// The generator is deliberately survivable-by-construction: hard outages
+// (link/switch down) are kept short and serialized in time, so the
+// RTO/retransmit + blacklist machinery can always recover and a collective
+// running under the plan is expected to *complete* — the soak asserts
+// invariants, not crashes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.h"
+#include "fault/fault.h"
+#include "net/fabric.h"
+
+namespace stellar {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /// Number of fault events to generate (paired down/up count as two).
+  std::size_t events = 100;
+  /// Faults start no earlier than `start` and are injected across
+  /// `horizon` of simulated time.
+  SimTime start = SimTime::millis(1);
+  SimTime horizon = SimTime::millis(40);
+  /// Registered target counts on the injector (0 disables that kind).
+  std::size_t engines = 0;
+  std::size_t pvdmas = 0;
+  std::size_t controls = 0;
+  /// Longest hard outage (link/switch down, reset window). Kept well under
+  /// the retry budget (max_retries * rto) so no QP is ever starved to
+  /// death by the plan itself.
+  SimTime max_outage = SimTime::micros(120);
+};
+
+/// Build a random, seed-deterministic plan valid for `fabric`.
+FaultPlan make_chaos_plan(const FabricConfig& fabric, const ChaosConfig& cfg);
+
+}  // namespace stellar

@@ -16,6 +16,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kDegrade: return "degrade";
     case FaultKind::kRnicReset: return "rnic_reset";
     case FaultKind::kPinPressure: return "pin_pressure";
+    case FaultKind::kBackendRestart: return "backend_restart";
+    case FaultKind::kLiveMigrate: return "live_migrate";
   }
   return "unknown";
 }
@@ -94,6 +96,25 @@ Status FaultInjector::validate(const FaultEvent& e) const {
       }
       if (e.duration <= SimTime::zero()) {
         return invalid_argument(tag + "pressure window must be > 0");
+      }
+      break;
+    case FaultKind::kBackendRestart:
+      if (e.control >= controls_.size()) {
+        return invalid_argument(tag + "control index out of range");
+      }
+      if (!controls_[e.control].backend_restart) {
+        return invalid_argument(tag + "target has no backend_restart hook");
+      }
+      if (e.duration <= SimTime::zero()) {
+        return invalid_argument(tag + "restart window must be > 0");
+      }
+      break;
+    case FaultKind::kLiveMigrate:
+      if (e.control >= controls_.size()) {
+        return invalid_argument(tag + "control index out of range");
+      }
+      if (!controls_[e.control].live_migrate) {
+        return invalid_argument(tag + "target has no live_migrate hook");
       }
       break;
   }
@@ -191,6 +212,24 @@ void FaultInjector::execute(const FaultEvent& e) {
                              note_cleared(label);
                            });
       break;
+
+    case FaultKind::kBackendRestart: {
+      note_fault(e);
+      STELLAR_CHECK_OK(controls_[e.control].backend_restart(e.duration),
+                       "backend restart hook failed");
+      sim_->schedule_after(e.duration,
+                           [this, label = e.label] { note_cleared(label); });
+      break;
+    }
+
+    case FaultKind::kLiveMigrate: {
+      note_fault(e);
+      auto downtime = controls_[e.control].live_migrate(e.duration);
+      STELLAR_CHECK_OK(downtime.status(), "live migrate hook failed");
+      sim_->schedule_after(downtime.value(),
+                           [this, label = e.label] { note_cleared(label); });
+      break;
+    }
   }
 }
 

@@ -32,14 +32,16 @@
 namespace stellar {
 
 enum class FaultKind : std::uint8_t {
-  kLinkDown,     // hard-fail one link (stays down until kLinkUp)
-  kLinkUp,       // restore one link
-  kLinkFlap,     // `flaps` down/up cycles on one link
-  kSwitchDown,   // hard-fail every port of one switch
-  kSwitchUp,     // restore every port of one switch
-  kDegrade,      // loss/latency window on one link, auto-restored
-  kRnicReset,    // device reset on one registered engine
-  kPinPressure,  // PVDMA pin pressure window on one registered Pvdma
+  kLinkDown,        // hard-fail one link (stays down until kLinkUp)
+  kLinkUp,          // restore one link
+  kLinkFlap,        // `flaps` down/up cycles on one link
+  kSwitchDown,      // hard-fail every port of one switch
+  kSwitchUp,        // restore every port of one switch
+  kDegrade,         // loss/latency window on one link, auto-restored
+  kRnicReset,       // device reset on one registered engine
+  kPinPressure,     // PVDMA pin pressure window on one registered Pvdma
+  kBackendRestart,  // vStellar backend hot-upgrade on one control target
+  kLiveMigrate,     // live-migrate one control target's VM
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -85,6 +87,8 @@ struct FaultEvent {
 
   std::uint32_t engine = 0;  // kRnicReset: index into registered engines
   std::uint32_t pvdma = 0;   // kPinPressure: index into registered Pvdmas
+  /// kBackendRestart/kLiveMigrate: index into registered control targets.
+  std::uint32_t control = 0;
 };
 
 struct FaultPlan {
@@ -107,6 +111,21 @@ class FaultInjector {
   void register_engine(RdmaEngine* engine) { engines_.push_back(engine); }
   void register_pvdma(Pvdma* pvdma) { pvdmas_.push_back(pvdma); }
 
+  /// Target for the control-plane fault kinds. Callbacks keep this library
+  /// decoupled from the host/runtime layers that actually implement a
+  /// backend hot-upgrade or a live migration:
+  ///  - backend_restart(window): quiesce + snapshot + restore the backend;
+  ///    `window` is the ingress blackout the restart imposes.
+  ///  - live_migrate(budget): run the migration; returns the realized
+  ///    downtime (used to time the telemetry "cleared" mark).
+  struct ControlTarget {
+    std::function<Status(SimTime window)> backend_restart;
+    std::function<StatusOr<SimTime>(SimTime budget)> live_migrate;
+  };
+  void register_control(ControlTarget target) {
+    controls_.push_back(std::move(target));
+  }
+
   /// Validate every event and schedule the whole plan. Events at equal
   /// timestamps execute in plan order (the simulator's FIFO tie-break).
   Status arm(const FaultPlan& plan);
@@ -128,6 +147,7 @@ class FaultInjector {
   FaultTelemetry* telemetry_;
   std::vector<RdmaEngine*> engines_;
   std::vector<Pvdma*> pvdmas_;
+  std::vector<ControlTarget> controls_;
   std::uint64_t executed_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "memory/address.h"
 
@@ -126,6 +127,27 @@ class RangeMap {
   }
 
   void clear() { ranges_.clear(); }
+
+  /// Checkpoint/restore: ranges are already kept in address order, so the
+  /// bytes are deterministic. `restore_state` replaces the whole table.
+  void save_state(SnapshotWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(ranges_.size()));
+    for (const auto& [start, e] : ranges_) {
+      w.u64(start);
+      w.u64(e.len);
+      w.u64(e.dst.value());
+    }
+  }
+  void restore_state(SnapshotReader& r) {
+    ranges_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t start = r.u64();
+      const std::uint64_t len = r.u64();
+      const std::uint64_t dst = r.u64();
+      ranges_.emplace(start, Entry{len, Dst{dst}});
+    }
+  }
 
   /// Iterate (start, Entry) pairs in address order.
   auto begin() const { return ranges_.begin(); }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/snapshot.h"
 #include "common/units.h"
 
 namespace stellar {
@@ -26,6 +27,12 @@ class CongestionControl {
   virtual void on_ack(std::uint32_t bytes, bool ecn_echo, SimTime rtt) = 0;
   virtual void on_timeout() = 0;
   virtual std::uint64_t window() const = 0;
+
+  /// Checkpoint/restore of the mutable CC context (the config is rebuilt by
+  /// the owner, which serializes its TransportConfig separately). restore()
+  /// must accept exactly the bytes save() produced for the same algorithm.
+  virtual void save(SnapshotWriter& w) const = 0;
+  virtual void restore(SnapshotReader& r) = 0;
 };
 
 struct CcConfig {
@@ -99,6 +106,17 @@ class WindowCc final : public CongestionControl {
                                    config_.timeout_backoff));
   }
 
+  void save(SnapshotWriter& w) const override {
+    w.u64(window_);
+    w.f64(alpha_);
+    w.u64(acked_since_rtt_cut_);
+  }
+  void restore(SnapshotReader& r) override {
+    window_ = r.u64();
+    alpha_ = r.f64();
+    acked_since_rtt_cut_ = r.u64();
+  }
+
   double alpha() const { return alpha_; }
   const CcConfig& config() const { return config_; }
 
@@ -161,6 +179,15 @@ class SwiftCc final : public CongestionControl {
         config_.min_window,
         static_cast<std::uint64_t>(static_cast<double>(window_) *
                                    config_.timeout_backoff));
+  }
+
+  void save(SnapshotWriter& w) const override {
+    w.u64(window_);
+    w.u64(acked_since_cut_);
+  }
+  void restore(SnapshotReader& r) override {
+    window_ = r.u64();
+    acked_since_cut_ = r.u64();
   }
 
  private:

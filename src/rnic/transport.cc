@@ -16,10 +16,16 @@ RdmaConnection::RdmaConnection(RdmaEngine& engine, std::uint64_t id,
       config_(config),
       id_(id),
       local_(local),
-      remote_(remote),
-      cc_(make_congestion_control(config.cc_algo, config.cc)),
-      selector_(PathSelector::create(config.algo, config.num_paths,
-                                     hash_combine(id, 0xA11CE))) {
+      remote_(remote) {
+  rebuild_from_config();
+}
+
+void RdmaConnection::rebuild_from_config() {
+  cc_ = make_congestion_control(config_.cc_algo, config_.cc);
+  selector_ = PathSelector::create(config_.algo, config_.num_paths,
+                                   hash_combine(id_, 0xA11CE));
+  per_path_cc_.clear();
+  per_path_inflight_.clear();
   if (config_.per_path_cc) {
     // Split the silicon budget: each path context gets a 1/paths share of
     // the window resources (the §9 trade-off made concrete).
@@ -415,7 +421,13 @@ void RdmaConnection::enter_error(Status reason) {
   for (auto& [path, handle] : probe_events_) sim.cancel(handle);
   probe_events_.clear();
 
-  if (on_error_) on_error_(error_status_);
+  // Exactly-once: move the handler out before invoking, so a re-entrant
+  // enter_error (or a later set_on_error) can never fire it a second time.
+  if (on_error_) {
+    ErrorHandler h = std::move(on_error_);
+    on_error_ = {};
+    h(error_status_);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -487,6 +499,14 @@ std::size_t RdmaEngine::pending_recvs(std::uint64_t conn_id) const {
 }
 
 void RdmaEngine::on_packet(NetPacket&& p) {
+  if (sim_->now() < quiesce_until_) {
+    // Backend restart blackout: the old backend process is gone and the new
+    // one has not attached yet, so the device has nobody to hand packets
+    // to. Unlike a reset this does not error any QP — the sender's
+    // RTO/retransmit path recovers the loss once the new backend is up.
+    ++quiesce_drops_;
+    return;
+  }
   if (sim_->now() < reset_until_) {
     // Device mid-reset: the function drops everything on the floor. The
     // fabric already counted the packet delivered, so conservation holds.

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "net/fabric.h"
@@ -107,7 +108,12 @@ class RdmaConnection {
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
-  bool idle() const { return inflight_bytes_ == 0 && unsent_queue_.empty(); }
+  /// Idle = no unacked packets and no unsent data. Checked on the
+  /// *outstanding table*, not on inflight_bytes_: a zero-length message in
+  /// flight carries zero payload bytes but still owns a PSN slot, and the
+  /// connection must not report drained (probes dormant, quiesce "done")
+  /// until that packet is acknowledged or the QP errors.
+  bool idle() const { return outstanding_.empty() && unsent_queue_.empty(); }
   /// True once a packet exhausted its retry budget (QP in error state).
   bool in_error() const { return error_; }
   /// OK while healthy; the terminal error (kUnavailable) once the QP moved
@@ -116,8 +122,19 @@ class RdmaConnection {
   Status status() const { return error_ ? error_status_ : Status::ok(); }
   /// Fires exactly once when the QP enters the error state (retry budget
   /// exhausted or device reset). Pending completions never fire after an
-  /// error; this callback is the failure signal that replaces them.
-  void set_on_error(ErrorHandler handler) { on_error_ = std::move(handler); }
+  /// error; this callback is the failure signal that replaces them. A
+  /// handler installed *after* the QP already errored fires immediately —
+  /// the exactly-once contract holds regardless of registration order
+  /// (e.g. a zero-length message whose QP dies before the application
+  /// wires its handler).
+  void set_on_error(ErrorHandler handler) {
+    on_error_ = std::move(handler);
+    if (error_ && on_error_) {
+      ErrorHandler h = std::move(on_error_);
+      on_error_ = {};
+      h(error_status_);
+    }
+  }
   std::size_t blacklisted_paths() const { return blacklist_.size(); }
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t probes_acked() const { return probes_acked_; }
@@ -178,6 +195,25 @@ class RdmaConnection {
 
   std::uint64_t enqueue_message(std::uint64_t bytes, PacketKind kind,
                                 std::uint32_t tag, Completion on_complete);
+
+  /// Checkpoint/restore of the full sender-side QP context (config, PSN
+  /// space, unacked packets, queued messages, CC state, blacklists).
+  /// Message completion callbacks are NOT serialized — the engine harvests
+  /// and re-attaches them across a hot restart; a cold restore (migration)
+  /// starts with empty callbacks and the application re-registers.
+  /// Driven by RdmaEngine::save_state / restore_state.
+  void save_state(SnapshotWriter& w) const;
+  void restore_state(SnapshotReader& r);
+  /// Re-create CC contexts / path selector from config_ (shared with the
+  /// ctor); restore_state then overlays the serialized CC state. The spray
+  /// selector's learned weights are ephemeral hardware state and restart
+  /// fresh — deterministically, from the connection-id seed.
+  void rebuild_from_config();
+  /// Re-arm timers/probes and resume transmission after restore_state.
+  void resume_after_restore();
+  /// Cancel every pending timer/probe without touching logical state —
+  /// the pre-restore half of a hot restart.
+  void cancel_timers();
 
   /// Path choice honoring the blacklist.
   std::uint16_t pick_path();
@@ -316,6 +352,42 @@ class RdmaEngine {
     return connections_;
   }
 
+  RdmaConnection* connection(std::uint64_t conn_id) const {
+    auto it = by_id_.find(conn_id);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
+
+  /// Checkpoint the engine's full guest-visible transport state (sender QPs
+  /// incl. unacked packets and CC context, receiver PSN floors and partial
+  /// messages, counters) into a deterministic byte-stable snapshot.
+  /// Application callbacks (message handlers, completions, posted receive
+  /// WRs) are never serialized: across a hot restart they stay live in
+  /// place, across a migration the application re-registers them.
+  std::string save_state() const;
+
+  /// Restore a snapshot produced by save_state(). Works on the engine that
+  /// produced it (backend hot-upgrade: state rebuilt in place, pending
+  /// timers re-armed) or on a freshly constructed engine for the same
+  /// endpoint (live migration: connections are re-created from their
+  /// serialized configs). In-flight packets of the old incarnation are
+  /// recovered by the normal RTO/retransmit path.
+  Status restore_state(const std::string& bytes);
+
+  /// Backend hot-upgrade of this engine: snapshot, tear down the mutable
+  /// runtime (timers, probes), reconstruct from the snapshot, verify the
+  /// round trip re-serializes byte-identically, and resume. Message
+  /// completion callbacks are preserved across the restart. Returns the
+  /// snapshot taken, for digest/size reporting.
+  StatusOr<std::string> hot_restart();
+  std::uint64_t hot_restarts() const { return hot_restarts_; }
+
+  /// Backend-restart blackout: for `window` of simulated time every
+  /// arriving packet is dropped at the device (the old backend process is
+  /// gone, the new one not yet attached). Unlike reset_device this does NOT
+  /// error any QP — lost packets are recovered by RTO/retransmit.
+  void quiesce(SimTime window);
+  std::uint64_t quiesce_drops() const { return quiesce_drops_; }
+
  private:
   friend class RdmaConnection;
   friend class TransportAuditor;    // reads receiver PSN state for audits
@@ -353,6 +425,9 @@ class RdmaEngine {
 
   void on_packet(NetPacket&& p);
   void handle_data(NetPacket&& p);
+  /// Deserialize engine + connection state (shared by restore_state and
+  /// hot_restart). Does not touch application callbacks.
+  Status restore_core(SnapshotReader& r);
   void send_ack(const NetPacket& data);
   void deliver_message(const RxMessage& rx);
   void serve_read_request(const NetPacket& p);
@@ -390,6 +465,11 @@ class RdmaEngine {
   SimTime reset_until_ = SimTime::zero();
   std::uint64_t device_resets_ = 0;
   std::uint64_t reset_drops_ = 0;
+
+  // Backend-restart blackout window (quiesce): drops without erroring QPs.
+  SimTime quiesce_until_ = SimTime::zero();
+  std::uint64_t quiesce_drops_ = 0;
+  std::uint64_t hot_restarts_ = 0;
 };
 
 }  // namespace stellar

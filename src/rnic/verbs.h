@@ -4,8 +4,10 @@
 // dedicated PD so cross-tenant access is rejected in "hardware".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "memory/address.h"
@@ -107,6 +109,58 @@ class VerbsResources {
   Status destroy_qp(QpNum num) {
     if (qps_.erase(num) == 0) return not_found("destroy_qp: unknown QP");
     return Status::ok();
+  }
+
+  // -- Migration adoption -------------------------------------------------------
+  // A migrated guest keeps its MR keys and QP numbers (they are baked into
+  // its WQEs and wire protocol); the destination RNIC adopts the objects
+  // verbatim instead of allocating new ones. Key collisions with resident
+  // tenants are a hard error — the orchestrator must pick another RNIC.
+
+  Status adopt_mr(const MemoryRegion& mr) {
+    if (pd_owner_.count(mr.pd) == 0) return not_found("adopt_mr: unknown PD");
+    if (mrs_.count(mr.key) != 0) {
+      return already_exists("adopt_mr: MR key in use");
+    }
+    mrs_.emplace(mr.key, mr);
+    next_mr_ = std::max(next_mr_, mr.key + 1);
+    return Status::ok();
+  }
+
+  Status adopt_qp(const QueuePair& qp) {
+    if (pd_owner_.count(qp.pd) == 0) return not_found("adopt_qp: unknown PD");
+    if (qps_.count(qp.num) != 0) {
+      return already_exists("adopt_qp: QP number in use");
+    }
+    qps_.emplace(qp.num, qp);
+    next_qp_ = std::max(next_qp_, qp.num + 1);
+    return Status::ok();
+  }
+
+  /// All MRs of one protection domain, sorted by key (deterministic).
+  std::vector<MemoryRegion> mrs_in_pd(PdId pd) const {
+    std::vector<MemoryRegion> out;
+    for (const auto& [key, mr] : mrs_) {
+      if (mr.pd == pd) out.push_back(mr);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MemoryRegion& a, const MemoryRegion& b) {
+                return a.key < b.key;
+              });
+    return out;
+  }
+
+  /// All QPs of one protection domain, sorted by number (deterministic).
+  std::vector<QueuePair> qps_in_pd(PdId pd) const {
+    std::vector<QueuePair> out;
+    for (const auto& [num, qp] : qps_) {
+      if (qp.pd == pd) out.push_back(qp);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const QueuePair& a, const QueuePair& b) {
+                return a.num < b.num;
+              });
+    return out;
   }
 
   /// The protection-domain check performed by hardware on every access:

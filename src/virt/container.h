@@ -37,6 +37,11 @@ class RundContainer {
   /// Reset the allocator cursor (models the guest OS reusing freed memory).
   void reuse_from(Gpa addr) { next_ = addr.value(); }
 
+  /// Allocator cursor, exposed so live migration can carry the guest's
+  /// memory layout onto the destination container.
+  std::uint64_t alloc_cursor() const { return next_; }
+  void set_alloc_cursor(std::uint64_t v) { next_ = v; }
+
   bool booted() const { return booted_; }
   void set_booted(bool value) { booted_ = value; }
 

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
+
 namespace stellar {
+
+namespace {
+constexpr std::uint32_t kVmTag = snapshot_tag('H', 'V', 'V', 'M');
+}  // namespace
 
 StatusOr<Hypervisor::BootReport> Hypervisor::boot_container(
     RundContainer& container) {
@@ -90,10 +96,30 @@ void Hypervisor::retry_pin(Simulator& sim, VmId vm, Gpa gpa,
   ++pin_retries_;
   const SimTime next_backoff =
       std::min(backoff + backoff, config_.pin_retry.max_backoff);
-  sim.schedule_after(backoff, [this, &sim, vm, gpa, len, attempt, next_backoff,
-                               done = std::move(done)]() mutable {
+  // Jitter the actual sleep so guests that hit the same pressure window
+  // don't retry in lock-step and stampede the pin path when it lifts.
+  const SimTime delay = jittered_delay(vm, gpa, attempt, backoff);
+  sim.schedule_after(delay, [this, &sim, vm, gpa, len, attempt, next_backoff,
+                             done = std::move(done)]() mutable {
     retry_pin(sim, vm, gpa, len, attempt + 1, next_backoff, std::move(done));
   });
+}
+
+SimTime Hypervisor::jittered_delay(VmId vm, Gpa gpa, std::uint32_t attempt,
+                                   SimTime backoff) const {
+  const double jitter = config_.pin_retry.jitter;
+  if (jitter <= 0.0) return backoff;
+  // Stateless draw: a hash of (seed, vm, gpa, attempt) is deterministic
+  // across runs yet decorrelated across guests and attempts.
+  const std::uint64_t h = hash_combine(
+      hash_combine(config_.pin_retry.jitter_seed, vm),
+      hash_combine(gpa.value(), attempt));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double scale = 1.0 - jitter * u;  // (1 - jitter, 1]
+  SimTime delay = SimTime::picos(static_cast<std::int64_t>(
+      static_cast<double>(backoff.ps()) * scale));
+  if (delay < SimTime::picos(1)) delay = SimTime::picos(1);
+  return delay;
 }
 
 StatusOr<Hypervisor::VdbMapping> Hypervisor::map_vdb(RundContainer& container,
@@ -121,6 +147,167 @@ StatusOr<Hypervisor::VdbMapping> Hypervisor::map_vdb(RundContainer& container,
   mapping.in_shm = false;
   mapping.gpa = gpa.value();
   return mapping;
+}
+
+std::vector<VmId> Hypervisor::booted_vms() const {
+  std::vector<VmId> vms;
+  vms.reserve(state_.size());
+  for (const auto& [id, st] : state_) vms.push_back(id);
+  std::sort(vms.begin(), vms.end());
+  return vms;
+}
+
+void Hypervisor::serialize_vm_state(const VmState& vm,
+                                    SnapshotWriter& w) const {
+  w.u64(vm.backing_base.value());
+  w.u64(vm.backing_len);
+  vm.ept.save_state(w);
+  vm.pvdma->save_state(w);
+  vm.shm.save_state(w);
+  vm.control.save_state(w);
+}
+
+StatusOr<std::string> Hypervisor::serialize_vm(VmId vm) const {
+  auto it = state_.find(vm);
+  if (it == state_.end()) return not_found("Hypervisor: container not booted");
+  SnapshotWriter w;
+  w.section(kVmTag);
+  w.u32(vm);
+  serialize_vm_state(*it->second, w);
+  return w.take();
+}
+
+Status Hypervisor::restore_vm_hot(VmId vm, const std::string& bytes) {
+  auto it = state_.find(vm);
+  if (it == state_.end()) return not_found("Hypervisor: container not booted");
+  VmState& st = *it->second;
+  SnapshotReader r(bytes);
+  if (Status s = r.expect_section(kVmTag); !s.is_ok()) return s;
+  const VmId id = r.u32();
+  if (id != vm) {
+    return invalid_argument("Hypervisor::restore_vm_hot: snapshot is for VM " +
+                            std::to_string(id));
+  }
+  const Hpa old_base{r.u64()};
+  const std::uint64_t old_len = r.u64();
+  if (old_base.value() != st.backing_base.value() ||
+      old_len != st.backing_len) {
+    return invalid_argument(
+        "Hypervisor::restore_vm_hot: backing window changed — hot restore "
+        "requires the guest to keep its physical frames");
+  }
+  // Same host, same frames: delta 0, register windows kept, pins adopted.
+  st.ept.restore_state(r, /*delta=*/0, old_base, old_len,
+                       /*include_registers=*/true);
+  if (Status s = st.pvdma->restore_state(r, /*adopt_pins=*/true); !s.is_ok()) {
+    return s;
+  }
+  st.shm.restore_state(r);
+  st.control.restore_state(r);
+  return r.finish();
+}
+
+StatusOr<Hypervisor::HotUpgradeReport> Hypervisor::hot_upgrade() {
+  HotUpgradeReport report;
+  for (VmId vm : booted_vms()) {
+    VmState& st = *state_.at(vm);
+    st.control.quiesce();
+    auto snap = serialize_vm(vm);
+    if (!snap.is_ok()) {
+      st.control.resume();
+      return snap.status();
+    }
+    // The new backend process reconstructs its view purely from the
+    // snapshot — restoring in place models "attach to existing guest and
+    // hardware state".
+    if (Status s = restore_vm_hot(vm, snap.value()); !s.is_ok()) {
+      st.control.resume();
+      return s;
+    }
+    auto again = serialize_vm(vm);
+    if (!again.is_ok()) {
+      st.control.resume();
+      return again.status();
+    }
+    if (again.value() != snap.value()) report.roundtrip_identical = false;
+    report.snapshot_bytes += snap.value().size();
+    ++report.vms;
+    report.stalled_commands += st.control.stalled_commands();
+    st.control.resume();
+  }
+  return report;
+}
+
+StatusOr<Hypervisor::BootReport> Hypervisor::restore_container(
+    RundContainer& container, const std::string& bytes) {
+  if (state_.count(container.id()) != 0) {
+    return already_exists("Hypervisor: container already booted");
+  }
+  SnapshotReader r(bytes);
+  if (Status s = r.expect_section(kVmTag); !s.is_ok()) return s;
+  const VmId id = r.u32();
+  if (id != container.id()) {
+    return invalid_argument(
+        "Hypervisor::restore_container: snapshot is for VM " +
+        std::to_string(id) + ", container is " +
+        std::to_string(container.id()));
+  }
+  const Hpa old_base{r.u64()};
+  const std::uint64_t old_len = r.u64();
+  if (old_len != container.memory_bytes()) {
+    return invalid_argument(
+        "Hypervisor::restore_container: memory size mismatch");
+  }
+
+  auto backing = pcie_->main_memory().allocate(old_len, kPage2M);
+  if (!backing.is_ok()) return backing.status();
+
+  auto vm = std::make_unique<VmState>();
+  vm->backing_base = backing.value();
+  vm->backing_len = old_len;
+  const std::int64_t delta =
+      static_cast<std::int64_t>(vm->backing_base.value()) -
+      static_cast<std::int64_t>(old_base.value());
+  // Rebase guest RAM onto this host's backing window; drop the source
+  // host's device-register windows (re-created with the devices).
+  vm->ept.restore_state(r, delta, old_base, old_len,
+                        /*include_registers=*/false);
+  vm->pvdma = std::make_unique<Pvdma>(pcie_->iommu(), vm->ept);
+  Status restored = vm->pvdma->restore_state(r, /*adopt_pins=*/false);
+  if (restored.is_ok()) {
+    // Source shm doorbell windows point at the source host's MMIO: consume
+    // and drop; this host maps its own when devices are re-created.
+    ShmRegion discarded;
+    discarded.restore_state(r);
+    vm->control.restore_state(r);
+    restored = r.finish();
+  }
+  if (!restored.is_ok()) {
+    (void)pcie_->main_memory().release(vm->backing_base);
+    return restored;
+  }
+
+  BootReport report;
+  const double gib =
+      static_cast<double>(old_len) / (1024.0 * 1024 * 1024);
+  // Resume on a pre-warmed microvm shell: the per-GiB table rebuild is
+  // paid, the base boot is not (that is the point of migrating).
+  report.hypervisor_time = SimTime::picos(static_cast<std::int64_t>(
+      gib * static_cast<double>(config_.per_gib_overhead.ps())));
+  if (!config_.use_pvdma) {
+    report.pin_time = pcie_->iommu().pin_cost(old_len);
+    Status pin =
+        pcie_->iommu().map(IoVa{0}, vm->backing_base, vm->backing_len);
+    if (!pin.is_ok()) {
+      (void)pcie_->main_memory().release(vm->backing_base);
+      return pin;
+    }
+    pcie_->iommu().note_pinned(vm->backing_len);
+  }
+  report.total = report.hypervisor_time + report.pin_time;
+  state_.emplace(container.id(), std::move(vm));
+  container.set_booted(true);
+  return report;
 }
 
 Status Hypervisor::unmap_vdb(RundContainer& container,

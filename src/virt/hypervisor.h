@@ -8,9 +8,11 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include <functional>
 
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "memory/ept.h"
@@ -25,10 +27,19 @@ namespace stellar {
 /// Backoff schedule for pin attempts hitting transient resource pressure
 /// (kResourceExhausted): retry after initial_backoff, doubling up to
 /// max_backoff, at most max_attempts tries total.
+///
+/// Each scheduled delay is *jittered*: a deterministic hash of
+/// (jitter_seed, vm, gpa, attempt) scales the exponential envelope into
+/// ((1 - jitter) * backoff, backoff]. Without this, every guest that hit
+/// the same pressure window retries on the same synchronized schedule and
+/// stampedes the IOMMU pin path the instant pressure lifts. jitter = 0
+/// restores the old synchronized behaviour.
 struct PinRetryPolicy {
   std::uint32_t max_attempts = 8;
   SimTime initial_backoff = SimTime::micros(50);
   SimTime max_backoff = SimTime::millis(5);
+  double jitter = 0.5;
+  std::uint64_t jitter_seed = 0x57E11A5ull;
 };
 
 struct HypervisorConfig {
@@ -89,6 +100,50 @@ class Hypervisor {
 
   const HypervisorConfig& config() const { return config_; }
 
+  bool booted(VmId vm) const { return state_.count(vm) != 0; }
+  /// Booted VM ids in sorted order (deterministic iteration).
+  std::vector<VmId> booted_vms() const;
+
+  // -- Control-plane robustness -------------------------------------------------
+
+  /// Serialize the full guest-visible hypervisor state of one VM (EPT,
+  /// PVDMA pin table + Map Cache, shm windows, virtio counters) into a
+  /// deterministic byte-stable snapshot.
+  StatusOr<std::string> serialize_vm(VmId vm) const;
+
+  /// Restore a serialize_vm() snapshot onto the *same* VM in place — the
+  /// backend half of a hot upgrade. The IOMMU, backing memory, and every
+  /// external pointer into the VmState stay valid; pins are adopted.
+  Status restore_vm_hot(VmId vm, const std::string& bytes);
+
+  struct HotUpgradeReport {
+    std::size_t vms = 0;
+    std::uint64_t snapshot_bytes = 0;
+    /// Every VM's state re-serialized byte-identically after the restore.
+    bool roundtrip_identical = true;
+    /// Control commands that stalled in parked virtqueues mid-upgrade.
+    std::uint64_t stalled_commands = 0;
+  };
+
+  /// Backend hot-upgrade: quiesce every VM's virtio control queues, drop
+  /// and reconstruct the backend's per-VM state from snapshots, verify the
+  /// round trip is byte-identical, and resume. Guest pages stay pinned in
+  /// the IOMMU throughout (hardware state survives the process swap).
+  StatusOr<HotUpgradeReport> hot_upgrade();
+
+  /// Live-migration destination: boot `container` directly from a source
+  /// snapshot. Fresh backing memory is allocated and the EPT rebased onto
+  /// it; nothing is pinned yet — PVDMA re-pins dirty blocks on demand (the
+  /// Map Cache cold path). Device-register windows and shm doorbells are
+  /// NOT restored: the caller re-creates virtual devices on this host.
+  StatusOr<BootReport> restore_container(RundContainer& container,
+                                         const std::string& bytes);
+
+  Hpa backing_base(VmId vm) const { return state_.at(vm)->backing_base; }
+  std::uint64_t backing_len(VmId vm) const {
+    return state_.at(vm)->backing_len;
+  }
+
  private:
   struct VmState {
     Ept ept;
@@ -101,6 +156,10 @@ class Hypervisor {
 
   void retry_pin(Simulator& sim, VmId vm, Gpa gpa, std::uint64_t len,
                  std::uint32_t attempt, SimTime backoff, PinCallback done);
+  /// Jittered retry delay within the deterministic exponential envelope.
+  SimTime jittered_delay(VmId vm, Gpa gpa, std::uint32_t attempt,
+                         SimTime backoff) const;
+  void serialize_vm_state(const VmState& vm, SnapshotWriter& w) const;
 
   HostPcie* pcie_;
   HypervisorConfig config_;

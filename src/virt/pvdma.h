@@ -81,6 +81,19 @@ class Pvdma {
   /// flags a nonzero count as a double-unpin bug.
   std::uint64_t double_unpins() const { return double_unpins_; }
 
+  /// Checkpoint the pin table (Map Cache residency + user counts) and the
+  /// accounting counters.
+  void save_state(SnapshotWriter& w) const;
+
+  /// Restore a checkpoint. `adopt_pins = true` is the backend hot-upgrade
+  /// path: the guest's pages stayed pinned in the (untouched) IOMMU while
+  /// the backend process was swapped, so the restored Map Cache adopts them
+  /// and the pin-accounting auditor stays green. `adopt_pins = false` is
+  /// the migration path: nothing is pinned on the destination yet, so the
+  /// pin table starts empty (first DMA touches re-pin on demand — the Map
+  /// Cache cold path) while the cumulative statistics carry over.
+  Status restore_state(SnapshotReader& r, bool adopt_pins);
+
  private:
   /// Register one block in the IOMMU by walking the EPT 4 KiB pages and
   /// coalescing contiguous HPA runs.

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "memory/address.h"
@@ -35,6 +36,10 @@ class VirtioControlPath {
   struct Config {
     SimTime virtqueue_rtt = SimTime::micros(8);    // kick + response
     SimTime host_processing = SimTime::micros(22); // policy + HW programming
+    /// Extra latency a command eats while the backend is quiesced for a
+    /// hot-upgrade: the virtqueue kick is parked until the new backend
+    /// process attaches and drains the queue.
+    SimTime quiesce_stall = SimTime::micros(40);
   };
 
   VirtioControlPath() : config_(Config{}) {}
@@ -45,14 +50,42 @@ class VirtioControlPath {
   SimTime execute(ControlCommand cmd) {
     ++commands_;
     (void)cmd;
-    return config_.virtqueue_rtt + config_.host_processing;
+    SimTime latency = config_.virtqueue_rtt + config_.host_processing;
+    if (quiesced_) {
+      // Backend mid-upgrade: the command sits in the virtqueue until the
+      // new process takes over. The guest never sees a failure — only the
+      // stall (the operational win over SR-IOV teardown).
+      ++stalled_commands_;
+      latency = latency + config_.quiesce_stall;
+    }
+    return latency;
   }
 
+  /// Hot-upgrade fencing: while quiesced, control commands stall instead of
+  /// executing at full speed; the data path is untouched.
+  void quiesce() { quiesced_ = true; }
+  void resume() { quiesced_ = false; }
+  bool quiesced() const { return quiesced_; }
+
   std::uint64_t commands_executed() const { return commands_; }
+  std::uint64_t stalled_commands() const { return stalled_commands_; }
+
+  /// Checkpoint/restore of the virtqueue statistics (guest-visible via
+  /// driver counters, so they must survive a backend swap).
+  void save_state(SnapshotWriter& w) const {
+    w.u64(commands_);
+    w.u64(stalled_commands_);
+  }
+  void restore_state(SnapshotReader& r) {
+    commands_ = r.u64();
+    stalled_commands_ = r.u64();
+  }
 
  private:
   Config config_;
   std::uint64_t commands_ = 0;
+  std::uint64_t stalled_commands_ = 0;
+  bool quiesced_ = false;
 };
 
 /// The shm region: windows of host MMIO (e.g. RNIC doorbell pages) exposed
@@ -88,6 +121,20 @@ class ShmRegion {
   }
 
   std::size_t window_count() const { return table_.range_count(); }
+
+  /// Checkpoint/restore. Only meaningful for a same-host backend swap: the
+  /// windows point at host MMIO, so a migrated guest gets a *fresh* shm
+  /// region and the destination re-maps its own doorbells.
+  void save_state(SnapshotWriter& w) const {
+    w.u64(size_);
+    w.u64(next_);
+    table_.save_state(w);
+  }
+  void restore_state(SnapshotReader& r) {
+    size_ = r.u64();
+    next_ = r.u64();
+    table_.restore_state(r);
+  }
 
  private:
   std::uint64_t size_;

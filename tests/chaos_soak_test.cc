@@ -1,0 +1,260 @@
+// Chaos soak: a seeded random FaultPlan composing every fault kind the
+// injector knows — data-plane faults plus backend restarts and live
+// migrations — against a continuously restarting AllReduce, with every
+// invariant auditor armed (trap-on-finding) and a PVDMA pin/unpin workload
+// riding the same clock. The soak asserts survival and invariants, then
+// checks snapshot round-trip idempotence on the soaked engines.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/auditors.h"
+#include "collective/allreduce.h"
+#include "core/stellar.h"
+#include "fault/chaos.h"
+#include "fault/fault.h"
+
+namespace stellar {
+namespace {
+
+FabricConfig soak_fabric() {
+  FabricConfig fc;
+  fc.segments = 2;
+  fc.hosts_per_segment = 4;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 4;
+  return fc;
+}
+
+ChaosConfig soak_config() {
+  ChaosConfig cc;
+  cc.seed = 0xC0FFEE;
+  cc.events = 110;
+  cc.start = SimTime::micros(500);
+  cc.horizon = SimTime::millis(40);
+  cc.engines = 8;
+  cc.pvdmas = 1;
+  cc.controls = 1;
+  return cc;
+}
+
+TEST(ChaosPlanTest, SameSeedSamePlan) {
+  const FabricConfig fc = soak_fabric();
+  const ChaosConfig cc = soak_config();
+  const FaultPlan a = make_chaos_plan(fc, cc);
+  const FaultPlan b = make_chaos_plan(fc, cc);
+  ASSERT_GE(a.events.size(), cc.events);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at) << "event " << i;
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << "event " << i;
+    EXPECT_EQ(a.events[i].label, b.events[i].label) << "event " << i;
+  }
+
+  ChaosConfig other = cc;
+  other.seed = cc.seed + 1;
+  const FaultPlan c = make_chaos_plan(fc, other);
+  bool differs = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].at != c.events[i].at ||
+              a.events[i].kind != c.events[i].kind;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical plans";
+}
+
+TEST(ChaosPlanTest, ControlKindsAppearAndHardOutagesSerialize) {
+  const FaultPlan plan = make_chaos_plan(soak_fabric(), soak_config());
+  std::size_t restarts = 0, migrates = 0;
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultKind::kBackendRestart) ++restarts;
+    if (e.kind == FaultKind::kLiveMigrate) ++migrates;
+  }
+  EXPECT_GT(restarts, 0u);
+  EXPECT_GT(migrates, 0u);
+
+  // Events arrive time-sorted so the injector can schedule them directly.
+  for (std::size_t i = 1; i < plan.events.size(); ++i) {
+    EXPECT_LE(plan.events[i - 1].at, plan.events[i].at);
+  }
+}
+
+// Migration hook on the collective itself: a paused rank defers its sends
+// (the ring stalls behind it) and resume replays them.
+TEST(ChaosSoakTest, PausedRankStallsRingUntilResumed) {
+  Simulator sim;
+  ClosFabric fabric(sim, soak_fabric());
+  EngineFleet fleet(sim, fabric);
+
+  std::vector<EndpointId> ranks;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ranks.push_back(fabric.endpoint(i % 2, i / 2, 0, 0));
+  }
+  AllReduceConfig cfg;
+  cfg.data_bytes = 2_MiB;
+  cfg.transport.num_paths = 4;
+  RingAllReduce ar(fleet, ranks, cfg);
+
+  bool completed = false;
+  ar.start([&] { completed = true; });
+  sim.schedule_after(SimTime::micros(30), [&] {
+    ar.pause_rank(1);
+    EXPECT_TRUE(ar.rank_paused(1));
+  });
+  sim.run_until(SimTime::millis(5));
+  EXPECT_FALSE(completed) << "ring completed around a paused rank";
+  EXPECT_TRUE(ar.running());
+
+  ar.resume_rank(1);
+  EXPECT_FALSE(ar.rank_paused(1));
+  sim.run();
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(ar.status().is_ok());
+}
+
+TEST(ChaosSoakTest, SurvivesHundredEventPlanWithAuditsOn) {
+  Simulator sim;
+  const FabricConfig fc = soak_fabric();
+  ClosFabric fabric(sim, fc);
+  EngineFleet fleet(sim, fabric);
+
+  std::vector<EndpointId> ranks;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ranks.push_back(fabric.endpoint(i % 2, i / 2, 0, 0));
+  }
+  AllReduceConfig cfg;
+  cfg.data_bytes = 4_MiB;
+  cfg.transport.algo = MultipathAlgo::kObs;
+  cfg.transport.num_paths = 8;
+  cfg.transport.max_retries = 64;
+
+  // Continuously restarting collective. A fail-fast abort (device reset
+  // errors every QP) rebuilds the ring on fresh connections — exactly what
+  // a communicator re-init does in production. Old generations stay alive:
+  // their (dead) connections still hold error handlers pointing at them,
+  // and a later device reset is allowed to fire those.
+  std::vector<std::unique_ptr<RingAllReduce>> rings;
+  std::uint64_t completions = 0, aborts = 0, generation = 0;
+  const SimTime soak_end = SimTime::millis(45);
+  std::function<void()> launch = [&] {
+    if (sim.now() >= soak_end) return;
+    ++generation;
+    rings.push_back(std::make_unique<RingAllReduce>(fleet, ranks, cfg));
+    RingAllReduce* ar = rings.back().get();
+    ar->start([&, ar] {
+      if (ar->status().is_ok()) {
+        ++completions;
+      } else {
+        ++aborts;
+      }
+      sim.schedule_after(SimTime::micros(5), [&] { launch(); });
+    });
+  };
+  launch();
+
+  // A PVDMA guest pins and releases blocks on the same clock, so pin
+  // pressure windows race real prepare/release traffic (retry + jitter).
+  StellarHost host;
+  RundContainer guest(1, "soak-guest", 4ull << 30);
+  ASSERT_TRUE(host.boot(guest).is_ok());
+  auto region = guest.alloc(64_MiB, kPage2M);
+  ASSERT_TRUE(region.is_ok());
+  std::uint64_t pins_ok = 0, pins_failed = 0, pin_seq = 0;
+  std::function<void()> pin_loop = [&] {
+    if (sim.now() >= soak_end) return;
+    const Gpa gpa = region.value() + (pin_seq++ % 8) * (8ull << 20);
+    host.hypervisor().prepare_dma_with_retry(
+        sim, 1, gpa, 2_MiB, [&, gpa](StatusOr<Pvdma::MapResult> result) {
+          if (result.is_ok()) {
+            ++pins_ok;
+            host.hypervisor().pvdma(1).release_dma(gpa, 2_MiB);
+          } else {
+            ++pins_failed;
+          }
+        });
+    sim.schedule_after(SimTime::micros(100), pin_loop);
+  };
+  pin_loop();
+
+  // Fault machinery: every engine, the guest's PVDMA, and one control
+  // target that implements backend restart + transport-level migration.
+  FaultInjector injector(sim, fabric);
+  for (EndpointId rank : ranks) {
+    injector.register_engine(&fleet.at(rank));
+  }
+  injector.register_pvdma(&host.hypervisor().pvdma(1));
+
+  std::uint64_t backend_restarts = 0, live_migrations = 0;
+  FaultInjector::ControlTarget control;
+  control.backend_restart = [&](SimTime window) -> Status {
+    ++backend_restarts;
+    for (EndpointId rank : ranks) {
+      RdmaEngine& engine = fleet.at(rank);
+      engine.quiesce(window);
+      auto snap = engine.hot_restart();
+      if (!snap.is_ok()) return snap.status();
+    }
+    return Status::ok();
+  };
+  control.live_migrate = [&](SimTime budget) -> StatusOr<SimTime> {
+    ++live_migrations;
+    const std::uint64_t gen = generation;
+    RingAllReduce* ar = rings.back().get();
+    ar->pause_rank(0);
+    RdmaEngine& engine = fleet.at(ranks[0]);
+    engine.quiesce(budget);
+    auto snap = engine.hot_restart();
+    if (!snap.is_ok()) return snap.status();
+    sim.schedule_after(budget, [&, gen, ar] {
+      if (generation == gen) ar->resume_rank(0);
+    });
+    return budget;
+  };
+  injector.register_control(std::move(control));
+
+  const FaultPlan plan = make_chaos_plan(fc, soak_config());
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  // Every auditor armed, trap-on-finding: any invariant violation fails
+  // the test at the moment it happens.
+  AuditRegistry audits;
+  audits.add(std::make_unique<FabricConservationAuditor>(fabric));
+  audits.add(std::make_unique<SimulatorAuditor>(sim));
+  for (EndpointId rank : ranks) {
+    audits.add(std::make_unique<TransportAuditor>(fleet.at(rank)));
+  }
+  audits.add(std::make_unique<PinAccountingAuditor>(
+      host.hypervisor().pvdma(1), host.pcie().iommu(),
+      host.hypervisor().ept(1)));
+  audits.attach_periodic(sim, SimTime::micros(200));
+
+  sim.run_until(SimTime::millis(120));
+
+  EXPECT_GE(injector.events_executed(), 100u);
+  EXPECT_GT(completions, 0u) << "soak never completed a collective";
+  EXPECT_GT(pins_ok, 0u);
+  EXPECT_EQ(pins_failed, 0u)
+      << "pressure windows outlasted the retry budget";
+  EXPECT_GT(backend_restarts, 0u);
+  EXPECT_GT(live_migrations, 0u);
+
+  const AuditReport final_report = audits.run_all();
+  EXPECT_TRUE(final_report.clean()) << final_report.to_string();
+
+  // Snapshot round-trip idempotence on the soaked state: after one
+  // restore (which resumes timers/pacing), re-applying the engine's own
+  // freshest snapshot is byte-stable for every engine.
+  for (EndpointId rank : ranks) {
+    RdmaEngine& engine = fleet.at(rank);
+    ASSERT_TRUE(engine.restore_state(engine.save_state()).is_ok());
+    const std::string stable = engine.save_state();
+    ASSERT_TRUE(engine.restore_state(stable).is_ok());
+    EXPECT_EQ(engine.save_state(), stable) << "engine " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace stellar

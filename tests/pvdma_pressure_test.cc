@@ -1,0 +1,155 @@
+// PVDMA unpin-during-pin-pressure races: a kPinPressure window (injected
+// through the fault framework) rejects fresh pins while releases keep
+// landing on the same Pvdma. The pin accounting must stay exact through
+// the window — pressured rejections must not leak refcounts, and a block
+// released mid-window must re-pin cold once pressure lifts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/auditors.h"
+#include "core/stellar.h"
+#include "fault/fault.h"
+
+namespace stellar {
+namespace {
+
+FabricConfig tiny_fabric() {
+  FabricConfig fc;
+  fc.segments = 2;
+  fc.hosts_per_segment = 2;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 2;
+  return fc;
+}
+
+FaultEvent pressure_window(SimTime at, SimTime duration) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kPinPressure;
+  e.duration = duration;
+  e.pvdma = 0;
+  e.label = "pressure";
+  return e;
+}
+
+TEST(PvdmaPressureTest, UnpinDuringPressureWindowStaysCoherent) {
+  Simulator sim;
+  ClosFabric fabric(sim, tiny_fabric());  // injector plumbing only
+
+  StellarHost host;
+  RundContainer guest(1, "guest", 4ull << 30);
+  ASSERT_TRUE(host.boot(guest).is_ok());
+  auto region = guest.alloc(32_MiB, kPage2M);
+  ASSERT_TRUE(region.is_ok());
+  Pvdma& pvdma = host.hypervisor().pvdma(1);
+
+  // Pre-pin four blocks the guest will release mid-window.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        pvdma.prepare_dma(region.value() + i * kPage2M, kPage2M).is_ok());
+  }
+  const std::uint64_t pinned_before = pvdma.pinned_bytes();
+  ASSERT_EQ(pinned_before, 4 * kPage2M);
+
+  FaultInjector injector(sim, fabric);
+  injector.register_pvdma(&pvdma);
+  FaultPlan plan;
+  plan.events.push_back(
+      pressure_window(SimTime::micros(100), SimTime::micros(400)));
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  // Pin-accounting auditor runs every 50 us through the whole race,
+  // trapping the instant a refcount or pinned-bytes invariant breaks.
+  AuditRegistry audits;
+  audits.add(std::make_unique<PinAccountingAuditor>(
+      pvdma, host.pcie().iommu(), host.hypervisor().ept(1)));
+  audits.attach_periodic(sim, SimTime::micros(50));
+
+  // Inside the window: a fresh pin retries behind the pressure while the
+  // guest releases two of its held blocks — the unpin-during-pin race.
+  bool fresh_pin_done = false;
+  sim.schedule_at(SimTime::micros(120), [&] {
+    EXPECT_EQ(pvdma.prepare_dma(region.value() + 8 * kPage2M, kPage2M)
+                  .status()
+                  .code(),
+              StatusCode::kResourceExhausted);
+    host.hypervisor().prepare_dma_with_retry(
+        sim, 1, region.value() + 8 * kPage2M, kPage2M,
+        [&](StatusOr<Pvdma::MapResult> result) {
+          ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+          EXPECT_FALSE(result.value().cache_hit);
+          fresh_pin_done = true;
+        });
+  });
+  sim.schedule_at(SimTime::micros(200), [&] {
+    pvdma.release_dma(region.value() + 0 * kPage2M, kPage2M);
+    pvdma.release_dma(region.value() + 1 * kPage2M, kPage2M);
+  });
+  sim.run();
+
+  EXPECT_TRUE(fresh_pin_done) << "retried pin never cleared the window";
+  EXPECT_GT(pvdma.pressured_rejections(), 0u);
+  EXPECT_GT(host.hypervisor().pin_retries(), 0u);
+  // Two blocks released, one fresh block pinned: exact accounting.
+  EXPECT_EQ(pvdma.pinned_bytes(), pinned_before - 2 * kPage2M + kPage2M);
+
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GT(report.checks_performed(), 0u);
+}
+
+TEST(PvdmaPressureTest, BlockReleasedMidWindowRepinsCold) {
+  Simulator sim;
+  ClosFabric fabric(sim, tiny_fabric());
+
+  StellarHost host;
+  RundContainer guest(2, "guest2", 4ull << 30);
+  ASSERT_TRUE(host.boot(guest).is_ok());
+  auto region = guest.alloc(8_MiB, kPage2M);
+  ASSERT_TRUE(region.is_ok());
+  Pvdma& pvdma = host.hypervisor().pvdma(2);
+  ASSERT_TRUE(pvdma.prepare_dma(region.value(), kPage2M).is_ok());
+
+  FaultInjector injector(sim, fabric);
+  injector.register_pvdma(&pvdma);
+  FaultPlan plan;
+  plan.events.push_back(
+      pressure_window(SimTime::micros(50), SimTime::micros(200)));
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  // A retried pin targets the very block whose only user releases it while
+  // the retry sleeps: when pressure lifts the block is gone from the Map
+  // Cache and must be re-registered (cold miss), not resurrected.
+  bool done = false;
+  sim.schedule_at(SimTime::micros(60), [&] {
+    host.hypervisor().prepare_dma_with_retry(
+        sim, 2, region.value(), kPage2M,
+        [&](StatusOr<Pvdma::MapResult> result) {
+          ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+          EXPECT_FALSE(result.value().cache_hit) << "released block must "
+                                                    "re-pin cold";
+          EXPECT_EQ(result.value().pinned_bytes, kPage2M);
+          done = true;
+        });
+  });
+  sim.schedule_at(SimTime::micros(80), [&] {
+    pvdma.release_dma(region.value(), kPage2M);
+    EXPECT_EQ(pvdma.pinned_bytes(), 0u);
+  });
+  sim.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(pvdma.pinned_bytes(), kPage2M);
+
+  AuditRegistry audits;
+  audits.add(std::make_unique<PinAccountingAuditor>(
+      pvdma, host.pcie().iommu(), host.hypervisor().ept(2)));
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace stellar

@@ -140,6 +140,55 @@ TEST_F(TransportEdgeTest, ManySmallMessagesInterleaved) {
   EXPECT_EQ(fleet_.at(b_).rx_goodput_bytes(), 200u * 1024);
 }
 
+TEST_F(TransportEdgeTest, ZeroLengthMessageOccupiesPsnSlot) {
+  auto conn = fleet_.connect(a_, b_, {});
+  // A zero-length write carries no payload bytes but still owns a PSN slot:
+  // until its ACK returns, the connection must not report idle (probes
+  // dormant / drain checks would lie) even though inflight_bytes() == 0.
+  bool done = false;
+  conn.value()->post_write(0, [&] { done = true; });
+  EXPECT_FALSE(conn.value()->idle());
+  EXPECT_EQ(conn.value()->inflight_bytes(), 0u);
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(conn.value()->idle());
+}
+
+TEST_F(TransportEdgeTest, ErrorHandlerInstalledLateFiresExactlyOnce) {
+  for (NetLink* l : fabric_.all_tor_uplinks()) l->set_drop_probability(1.0);
+  TransportConfig t;
+  t.max_retries = 2;
+  auto conn = fleet_.connect(a_, b_, t);
+  conn.value()->post_write(0, {});  // zero-length: the regression shape
+  sim_.run();
+  ASSERT_TRUE(conn.value()->in_error());
+
+  // Handler installed AFTER the QP already errored: it must fire
+  // immediately — and exactly once, even if another error is signalled.
+  int fired = 0;
+  conn.value()->set_on_error([&](const Status&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+  conn.value()->set_on_error([&](const Status&) { ++fired; });
+  EXPECT_EQ(fired, 2);  // each installation observes the error once
+  sim_.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(TransportEdgeTest, ErrorHandlerBeforeErrorFiresExactlyOnce) {
+  for (NetLink* l : fabric_.all_tor_uplinks()) l->set_drop_probability(1.0);
+  TransportConfig t;
+  t.max_retries = 2;
+  auto conn = fleet_.connect(a_, b_, t);
+  int fired = 0;
+  conn.value()->set_on_error([&](const Status&) { ++fired; });
+  conn.value()->post_write(32_KiB, {});
+  conn.value()->post_write(0, {});
+  sim_.run();
+  EXPECT_TRUE(conn.value()->in_error());
+  EXPECT_EQ(fired, 1);  // one QP transition, one callback
+  EXPECT_TRUE(sim_.empty());  // no orphan timers survive the error
+}
+
 TEST_F(TransportEdgeTest, ErrorStateAfterPeerUnreachable) {
   // Sever every uplink in both directions: no path works, retries exhaust.
   for (NetLink* l : fabric_.all_tor_uplinks()) l->set_drop_probability(1.0);

@@ -5,12 +5,17 @@
 #   3. the fault-labelled fault-injection/recovery tests on their own
 #   4. the sim-labelled engine determinism/stress tests on their own
 #   5. the obs-labelled observability golden/property tests on their own
-#   6. a fig09 mini trace dump + trace_summarize smoke (the tracer's
+#   6. the migrate-labelled control-plane robustness tests (snapshots,
+#      hot-upgrade, live migration, chaos soak) on their own, plus an
+#      explicit chaos-soak smoke (fixed seed, audits ON) and a migration
+#      bench smoke run twice to prove BENCH_migration.json is
+#      byte-deterministic
+#   7. a fig09 mini trace dump + trace_summarize smoke (the tracer's
 #      byte-determinism and the summarizer's parser, end to end)
-#   7. ASan+UBSan build + the complete test suite + the fault, sim and obs
-#      suites
-#   8. clang-tidy over src/ (skipped gracefully when not installed)
-#   9. STELLAR_AUDIT=OFF + STELLAR_TRACE=OFF build of the bench binaries —
+#   8. ASan+UBSan build + the complete test suite + the fault, sim, obs
+#      and migrate suites
+#   9. clang-tidy over src/ (skipped gracefully when not installed)
+#  10. STELLAR_AUDIT=OFF + STELLAR_TRACE=OFF build of the bench binaries —
 #      proves both instrumentation layers compile out of hot paths
 #      entirely — plus a sim_core smoke run (wheel-vs-heap cross-check at
 #      reduced scale)
@@ -57,6 +62,23 @@ ctest --test-dir build --output-on-failure -L sim
 step "observability golden/property suite (ctest -L obs)"
 ctest --test-dir build --output-on-failure -L obs
 
+step "control-plane robustness suite (ctest -L migrate)"
+ctest --test-dir build --output-on-failure -L migrate
+
+step "chaos-soak smoke (fixed seed 0xC0FFEE, >=100 events, audits ON)"
+build/tests/stellar_migrate_tests \
+  --gtest_filter='ChaosSoakTest.SurvivesHundredEventPlanWithAuditsOn'
+
+step "migration bench smoke (BENCH_migration.json byte-determinism)"
+mig_smoke_dir="$(mktemp -d)"
+(cd "$mig_smoke_dir" &&
+  mkdir run1 run2 &&
+  (cd run1 && "$repo_root/build/bench/fig_migration" > fig_migration.log) &&
+  (cd run2 && "$repo_root/build/bench/fig_migration" > fig_migration.log) &&
+  cmp run1/BENCH_migration.json run2/BENCH_migration.json &&
+  head -n 3 run1/BENCH_migration.json)
+rm -rf "$mig_smoke_dir"
+
 step "sim_core engine smoke run, default build (cross-check only; audits on)"
 build/bench/sim_core 0.05
 
@@ -79,6 +101,8 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -L sim
   step "observability suite under sanitizers (ctest -L obs)"
   ctest --test-dir build-san --output-on-failure -L obs
+  step "control-plane robustness suite under sanitizers (ctest -L migrate)"
+  ctest --test-dir build-san --output-on-failure -L migrate
 else
   step "sanitizer pass skipped (--skip-san)"
 fi
