@@ -14,6 +14,7 @@ std::string AuditReport::to_string() const {
 AuditRegistry::~AuditRegistry() { detach(); }
 
 AuditReport AuditRegistry::run_all() {
+  owner_.assert_held();
   AuditReport report;
   for (const auto& auditor : auditors_) {
     auditor->audit(report);
@@ -28,6 +29,7 @@ AuditReport AuditRegistry::run_all() {
 }
 
 void AuditRegistry::attach_periodic(Simulator& sim, SimTime period) {
+  owner_.assert_held();
   detach();
   sim_ = &sim;
   period_ = period;
@@ -35,6 +37,7 @@ void AuditRegistry::attach_periodic(Simulator& sim, SimTime period) {
 }
 
 void AuditRegistry::detach() {
+  owner_.assert_held();
   if (sim_ != nullptr && pending_.valid()) {
     sim_->cancel(pending_);
   }
@@ -43,6 +46,7 @@ void AuditRegistry::detach() {
 }
 
 void AuditRegistry::fire() {
+  owner_.assert_held();
   pending_ = EventHandle{};
   (void)run_all();
   // Re-arm only while other work is queued: the firing that observes an

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "check/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sim/simulator.h"
 
 namespace stellar {
@@ -59,6 +61,10 @@ class InvariantAuditor {
   virtual void audit(AuditReport& report) const = 0;
 };
 
+// Shard-safety contract: an AuditRegistry belongs to the thread driving its
+// Simulator (auditors walk that shard's live data structures mid-run, so a
+// lock could not make cross-thread use safe anyway). SingleOwner documents
+// and — in audit builds — enforces that, exactly like the Simulator itself.
 class AuditRegistry {
  public:
   AuditRegistry() = default;
@@ -67,9 +73,13 @@ class AuditRegistry {
   ~AuditRegistry();
 
   void add(std::unique_ptr<InvariantAuditor> auditor) {
+    owner_.assert_held();
     auditors_.push_back(std::move(auditor));
   }
-  std::size_t auditor_count() const { return auditors_.size(); }
+  std::size_t auditor_count() const {
+    owner_.assert_held();
+    return auditors_.size();
+  }
 
   /// Run every auditor once. With trap_on_finding (the default), a dirty
   /// report fails a STELLAR_CHECK; otherwise the report is returned for the
@@ -81,24 +91,39 @@ class AuditRegistry {
   /// audits the drained state and run() still terminates.
   void attach_periodic(Simulator& sim, SimTime period);
   void detach();
-  bool attached() const { return sim_ != nullptr; }
+  bool attached() const {
+    owner_.assert_held();
+    return sim_ != nullptr;
+  }
 
-  void set_trap_on_finding(bool trap) { trap_on_finding_ = trap; }
+  void set_trap_on_finding(bool trap) {
+    owner_.assert_held();
+    trap_on_finding_ = trap;
+  }
 
-  std::uint64_t runs() const { return runs_; }
+  std::uint64_t runs() const {
+    owner_.assert_held();
+    return runs_;
+  }
   /// Total findings across all runs (0 on a healthy simulation).
-  std::uint64_t total_findings() const { return total_findings_; }
+  std::uint64_t total_findings() const {
+    owner_.assert_held();
+    return total_findings_;
+  }
 
  private:
+  // Runs as a simulator event (owning thread); asserts ownership itself.
   void fire();
 
-  std::vector<std::unique_ptr<InvariantAuditor>> auditors_;
-  Simulator* sim_ = nullptr;
-  SimTime period_ = SimTime::zero();
-  EventHandle pending_;
-  bool trap_on_finding_ = true;
-  std::uint64_t runs_ = 0;
-  std::uint64_t total_findings_ = 0;
+  SingleOwner owner_;
+  std::vector<std::unique_ptr<InvariantAuditor>> auditors_
+      STELLAR_GUARDED_BY(owner_);
+  Simulator* sim_ STELLAR_GUARDED_BY(owner_) = nullptr;
+  SimTime period_ STELLAR_GUARDED_BY(owner_) = SimTime::zero();
+  EventHandle pending_ STELLAR_GUARDED_BY(owner_);
+  bool trap_on_finding_ STELLAR_GUARDED_BY(owner_) = true;
+  std::uint64_t runs_ STELLAR_GUARDED_BY(owner_) = 0;
+  std::uint64_t total_findings_ STELLAR_GUARDED_BY(owner_) = 0;
 };
 
 }  // namespace stellar

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/ordered.h"
+
 #include "memory/address.h"
 
 namespace stellar {
@@ -147,8 +149,10 @@ void EmttCoherenceAuditor::audit(AuditReport& report) const {
     const MapCache& cache = hyp.pvdma(device->vm_).map_cache();
     const std::uint64_t block_size = cache.block_size();
 
-    for (const auto& [key, range] : device->pinned_ranges_) {
-      const auto [gpa, len] = range;
+    // pinned_ranges_ is a hash map; findings must emit in a deterministic
+    // order, so walk the MR keys sorted.
+    for (const MrKey key : sorted_keys(device->pinned_ranges_)) {
+      const auto [gpa, len] = device->pinned_ranges_.at(key);
       auto mr = rnic.verbs().mr(key);
       report.note_check();
       if (!mr.is_ok()) {
@@ -277,10 +281,15 @@ void TransportAuditor::audit(AuditReport& report) const {
 
   // Receiver-side PSN tracking: the floor is fully compacted (nothing at or
   // below it is still stored) and the recorded high-water mark is sane.
-  for (const auto& [conn_id, rx] : engine_->rx_) {
+  // rx_ is a hash map; findings must emit in a deterministic order, so
+  // walk the connection ids sorted.
+  for (const std::uint64_t conn_id : sorted_keys(engine_->rx_)) {
+    const auto& rx = engine_->rx_.at(conn_id);
     const std::string tag = "rx conn " + std::to_string(conn_id);
     report.note_check();
     bool below_floor = false;
+    // stellar-lint: allow(unordered-iter) order-insensitive: computes one
+    // any-below-floor boolean; no per-element emission or scheduling.
     for (std::uint64_t psn : rx.psns_above_floor) {
       if (psn <= rx.psn_floor) {
         below_floor = true;

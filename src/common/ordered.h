@@ -1,0 +1,35 @@
+// Deterministic iteration over unordered associative containers.
+//
+// std::unordered_{map,set} iteration order is implementation-defined and
+// changes with load factor and libstdc++ version, so any loop that feeds an
+// emitter (to_json, save_state, audit findings) or schedules events must
+// not walk one directly — that is stellar-lint rule `unordered-iter`. The
+// fix is always the same collect-then-sort idiom; these helpers are that
+// idiom, named so call sites read as intent.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace stellar {
+
+/// All keys of an (unordered) map, ascending. Iterate this, then look the
+/// values up, to visit a hash map in deterministic order.
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// All elements of an (unordered) set, ascending.
+template <typename Set>
+std::vector<typename Set::key_type> sorted_elems(const Set& s) {
+  std::vector<typename Set::key_type> elems(s.begin(), s.end());
+  std::sort(elems.begin(), elems.end());
+  return elems;
+}
+
+}  // namespace stellar

@@ -5,6 +5,9 @@
 
 namespace stellar {
 
+// Float formatting is fine here: to_string renders for humans (CLI/log
+// lines); machine-readable emitters serialize integer picoseconds
+// (stellar-lint rule float-format exempts to_string by name).
 std::string SimTime::to_string() const {
   char buf[64];
   if (ps_ < 1000) {

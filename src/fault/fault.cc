@@ -23,6 +23,7 @@ const char* fault_kind_name(FaultKind kind) {
 }
 
 Status FaultInjector::arm(const FaultPlan& plan) {
+  owner_.assert_held();
   for (const FaultEvent& e : plan.events) {
     Status s = validate(e);
     if (!s.is_ok()) return s;
@@ -153,6 +154,7 @@ void FaultInjector::note_cleared(const std::string& label) {
 }
 
 void FaultInjector::execute(const FaultEvent& e) {
+  owner_.assert_held();
   ++executed_;
   switch (e.kind) {
     case FaultKind::kLinkDown:
@@ -234,6 +236,7 @@ void FaultInjector::execute(const FaultEvent& e) {
 }
 
 void FaultInjector::flap_cycle(FaultEvent e, std::uint32_t remaining) {
+  owner_.assert_held();
   NetLink& link = resolve(e.link);
   link.set_down(e.drain);
   sim_->schedule_after(e.duration, [this, e, remaining, &link] {

@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "fault/telemetry.h"
 #include "net/fabric.h"
@@ -98,6 +100,9 @@ struct FaultPlan {
   std::vector<FaultEvent> events;
 };
 
+// Shard-safety contract: a FaultInjector manipulates its shard's live
+// fabric/engine state from scheduled events, so it is SingleOwner — owned
+// by the thread driving the simulator, never locked.
 class FaultInjector {
  public:
   FaultInjector(Simulator& sim, ClosFabric& fabric,
@@ -108,8 +113,14 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Targets for kRnicReset / kPinPressure, addressed by registration index.
-  void register_engine(RdmaEngine* engine) { engines_.push_back(engine); }
-  void register_pvdma(Pvdma* pvdma) { pvdmas_.push_back(pvdma); }
+  void register_engine(RdmaEngine* engine) {
+    owner_.assert_held();
+    engines_.push_back(engine);
+  }
+  void register_pvdma(Pvdma* pvdma) {
+    owner_.assert_held();
+    pvdmas_.push_back(pvdma);
+  }
 
   /// Target for the control-plane fault kinds. Callbacks keep this library
   /// decoupled from the host/runtime layers that actually implement a
@@ -123,6 +134,7 @@ class FaultInjector {
     std::function<StatusOr<SimTime>(SimTime budget)> live_migrate;
   };
   void register_control(ControlTarget target) {
+    owner_.assert_held();
     controls_.push_back(std::move(target));
   }
 
@@ -130,25 +142,32 @@ class FaultInjector {
   /// timestamps execute in plan order (the simulator's FIFO tie-break).
   Status arm(const FaultPlan& plan);
 
-  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_executed() const {
+    owner_.assert_held();
+    return executed_;
+  }
 
  private:
-  Status validate(const FaultEvent& e) const;
+  Status validate(const FaultEvent& e) const STELLAR_REQUIRES(owner_);
+  // Entry points of scheduled events (owning thread); they assert ownership
+  // themselves rather than REQUIRES so the scheduling lambdas stay plain.
   void execute(const FaultEvent& e);
   void flap_cycle(FaultEvent e, std::uint32_t remaining);
-  NetLink& resolve(const LinkRef& ref) const;
-  std::vector<NetLink*> switch_ports(const SwitchRef& ref) const;
+  NetLink& resolve(const LinkRef& ref) const STELLAR_REQUIRES(owner_);
+  std::vector<NetLink*> switch_ports(const SwitchRef& ref) const
+      STELLAR_REQUIRES(owner_);
 
-  void note_fault(const FaultEvent& e);
-  void note_cleared(const std::string& label);
+  void note_fault(const FaultEvent& e) STELLAR_REQUIRES(owner_);
+  void note_cleared(const std::string& label) STELLAR_REQUIRES(owner_);
 
+  SingleOwner owner_;
   Simulator* sim_;
   ClosFabric* fabric_;
   FaultTelemetry* telemetry_;
-  std::vector<RdmaEngine*> engines_;
-  std::vector<Pvdma*> pvdmas_;
-  std::vector<ControlTarget> controls_;
-  std::uint64_t executed_ = 0;
+  std::vector<RdmaEngine*> engines_ STELLAR_GUARDED_BY(owner_);
+  std::vector<Pvdma*> pvdmas_ STELLAR_GUARDED_BY(owner_);
+  std::vector<ControlTarget> controls_ STELLAR_GUARDED_BY(owner_);
+  std::uint64_t executed_ STELLAR_GUARDED_BY(owner_) = 0;
 };
 
 }  // namespace stellar

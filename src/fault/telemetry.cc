@@ -1,7 +1,7 @@
 #include "fault/telemetry.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <cmath>
 
 #include "obs/obs.h"
 
@@ -23,15 +23,10 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string fmt_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
-  return buf;
-}
-
 }  // namespace
 
 void FaultTelemetry::attach(Simulator& sim, SimTime period) {
+  owner_.assert_held();
   detach();
   sim_ = &sim;
   period_ = period;
@@ -41,6 +36,7 @@ void FaultTelemetry::attach(Simulator& sim, SimTime period) {
 }
 
 void FaultTelemetry::detach() {
+  owner_.assert_held();
   if (sim_ != nullptr && pending_.valid()) {
     sim_->cancel(pending_);
   }
@@ -49,6 +45,7 @@ void FaultTelemetry::detach() {
 }
 
 void FaultTelemetry::fire() {
+  owner_.assert_held();
   pending_ = EventHandle{};
   samples_.push_back(snapshot());
   // Mirror the sample onto the shared registry/trace so fault telemetry
@@ -87,6 +84,7 @@ FaultTelemetry::Sample FaultTelemetry::snapshot() const {
 
 void FaultTelemetry::on_fault(std::string label, std::string kind,
                               SimTime at) {
+  owner_.assert_held();
   FaultRecord rec;
   rec.label = std::move(label);
   rec.kind = std::move(kind);
@@ -97,6 +95,7 @@ void FaultTelemetry::on_fault(std::string label, std::string kind,
 }
 
 void FaultTelemetry::on_fault_cleared(const std::string& label, SimTime at) {
+  owner_.assert_held();
   // Clear the most recent un-cleared record with this label (flap cycles
   // reuse one record: only the final up marks it cleared).
   for (auto it = faults_.rbegin(); it != faults_.rend(); ++it) {
@@ -112,6 +111,7 @@ void FaultTelemetry::on_fault_cleared(const std::string& label, SimTime at) {
 }
 
 std::vector<FaultTelemetry::EventAnalysis> FaultTelemetry::analyze() const {
+  owner_.assert_held();
   std::vector<EventAnalysis> out;
   out.reserve(faults_.size());
   for (const FaultRecord& fault : faults_) {
@@ -170,6 +170,7 @@ std::vector<FaultTelemetry::EventAnalysis> FaultTelemetry::analyze() const {
 }
 
 std::string FaultTelemetry::to_json() const {
+  owner_.assert_held();
   std::string out = "{\n  \"seed\": " + std::to_string(seed_) + ",\n";
 
   out += "  \"faults\": [";
@@ -212,7 +213,13 @@ std::string FaultTelemetry::to_json() const {
            ", \"recovered\": " + (a.recovered ? "true" : "false") +
            ", \"recover_latency_ps\": " +
            std::to_string(a.recover_latency.ps()) +
-           ", \"goodput_dip\": " + fmt_double(a.goodput_dip) + "}";
+           // Serialized as integer parts-per-million: "%f"-style float
+           // formatting is banned in deterministic emitters (stellar-lint
+           // rule float-format); the analysis struct keeps the double.
+           ", \"goodput_dip_ppm\": " +
+           std::to_string(static_cast<long long>(
+               std::llround(a.goodput_dip * 1e6))) +
+           "}";
   }
   out += analysis.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";

@@ -18,12 +18,17 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "rnic/transport.h"
 #include "sim/simulator.h"
 
 namespace stellar {
 
+// Shard-safety contract: SingleOwner, like the FaultInjector feeding it —
+// samples and fault marks are appended from simulator events on the owning
+// shard's thread, and analyze()/to_json() run there after the drain.
 class FaultTelemetry {
  public:
   struct FaultRecord {
@@ -56,7 +61,10 @@ class FaultTelemetry {
   };
 
   /// Engines whose counters feed the sampler. Register before attach().
-  void watch_engine(const RdmaEngine* engine) { engines_.push_back(engine); }
+  void watch_engine(const RdmaEngine* engine) {
+    owner_.assert_held();
+    engines_.push_back(engine);
+  }
 
   /// Sample every `period` of simulated time. The recurring event re-arms
   /// only while the simulator has other pending work (the AuditRegistry
@@ -64,15 +72,27 @@ class FaultTelemetry {
   /// still terminates.
   void attach(Simulator& sim, SimTime period);
   void detach();
-  bool attached() const { return sim_ != nullptr; }
+  bool attached() const {
+    owner_.assert_held();
+    return sim_ != nullptr;
+  }
 
   /// Injector-facing timeline hooks.
-  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  void set_seed(std::uint64_t seed) {
+    owner_.assert_held();
+    seed_ = seed;
+  }
   void on_fault(std::string label, std::string kind, SimTime at);
   void on_fault_cleared(const std::string& label, SimTime at);
 
-  const std::vector<FaultRecord>& faults() const { return faults_; }
-  const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<FaultRecord>& faults() const {
+    owner_.assert_held();
+    return faults_;
+  }
+  const std::vector<Sample>& samples() const {
+    owner_.assert_held();
+    return samples_;
+  }
 
   std::vector<EventAnalysis> analyze() const;
 
@@ -80,16 +100,18 @@ class FaultTelemetry {
   std::string to_json() const;
 
  private:
+  // Runs as a simulator event (owning thread); asserts ownership itself.
   void fire();
-  Sample snapshot() const;
+  Sample snapshot() const STELLAR_REQUIRES(owner_);
 
-  Simulator* sim_ = nullptr;
-  SimTime period_;
-  EventHandle pending_;
-  std::uint64_t seed_ = 0;
-  std::vector<const RdmaEngine*> engines_;
-  std::vector<FaultRecord> faults_;
-  std::vector<Sample> samples_;
+  SingleOwner owner_;
+  Simulator* sim_ STELLAR_GUARDED_BY(owner_) = nullptr;
+  SimTime period_ STELLAR_GUARDED_BY(owner_);
+  EventHandle pending_ STELLAR_GUARDED_BY(owner_);
+  std::uint64_t seed_ STELLAR_GUARDED_BY(owner_) = 0;
+  std::vector<const RdmaEngine*> engines_ STELLAR_GUARDED_BY(owner_);
+  std::vector<FaultRecord> faults_ STELLAR_GUARDED_BY(owner_);
+  std::vector<Sample> samples_ STELLAR_GUARDED_BY(owner_);
 };
 
 }  // namespace stellar

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered.h"
 #include "common/snapshot.h"
 #include "common/status.h"
 #include "memory/address.h"
@@ -65,11 +66,13 @@ class MapCache {
   void erase(Gpa gpa) { blocks_.erase(block_of(gpa).value()); }
 
   /// Visit every resident block as (block-start GPA, user count) — the
-  /// residency sweep the pin-accounting auditor performs.
+  /// residency sweep the pin-accounting auditor performs. Visits in
+  /// ascending block order: the container is unordered, and the callback
+  /// may emit audit findings whose order must be deterministic.
   template <typename Fn>
   void for_each_block(Fn&& fn) const {
-    for (const auto& [start, block] : blocks_) {
-      fn(Gpa{start}, block.users);
+    for (const std::uint64_t start : sorted_keys(blocks_)) {
+      fn(Gpa{start}, blocks_.at(start).users);
     }
   }
 

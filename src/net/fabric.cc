@@ -29,7 +29,10 @@ ClosFabric::ClosFabric(Simulator& sim, FabricConfig config)
   const std::size_t n_tor_links = static_cast<std::size_t>(c.segments) *
                                   c.rails * c.planes * c.aggs_per_plane;
 
-  auto deliver = [this](NetPacket&& p) { advance(std::move(p)); };
+  // Each link gets its own inline delivery closure (DeliverFn is move-only).
+  auto deliver = [this] {
+    return [this](NetPacket&& p) { advance(std::move(p)); };
+  };
 
   std::uint64_t seed = 0xC0FFEE;
   host_up_.reserve(n_host_links);
@@ -40,10 +43,10 @@ ClosFabric::ClosFabric(Simulator& sim, FabricConfig config)
         for (std::uint32_t p = 0; p < c.planes; ++p) {
           host_up_.push_back(std::make_unique<NetLink>(
               sim, link_name("host_up", s, h, r, p), c.host_link, ++seed));
-          host_up_.back()->set_deliver(deliver);
+          host_up_.back()->set_deliver(deliver());
           tor_down_.push_back(std::make_unique<NetLink>(
               sim, link_name("tor_down", s, h, r, p), c.host_link, ++seed));
-          tor_down_.back()->set_deliver(deliver);
+          tor_down_.back()->set_deliver(deliver());
         }
       }
     }
@@ -57,10 +60,10 @@ ClosFabric::ClosFabric(Simulator& sim, FabricConfig config)
         for (std::uint32_t a = 0; a < c.aggs_per_plane; ++a) {
           tor_up_.push_back(std::make_unique<NetLink>(
               sim, link_name("tor_up", s, r, p, a), c.fabric_link, ++seed));
-          tor_up_.back()->set_deliver(deliver);
+          tor_up_.back()->set_deliver(deliver());
           agg_down_.push_back(std::make_unique<NetLink>(
               sim, link_name("agg_down", a, s, r, p), c.fabric_link, ++seed));
-          agg_down_.back()->set_deliver(deliver);
+          agg_down_.back()->set_deliver(deliver());
         }
       }
     }

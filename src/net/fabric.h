@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "net/link.h"
 #include "net/packet.h"
+#include "sim/inline_action.h"
 #include "sim/simulator.h"
 
 namespace stellar {
@@ -44,7 +45,9 @@ struct FabricConfig {
 
 class ClosFabric {
  public:
-  using Handler = std::function<void(NetPacket&&)>;
+  /// Endpoint receive handler, invoked once per delivered packet — an
+  /// InlineFunction for the same reason as NetLink::DeliverFn.
+  using Handler = InlineFunction<void(NetPacket&&)>;
 
   ClosFabric(Simulator& sim, FabricConfig config);
 
@@ -113,6 +116,8 @@ class ClosFabric {
   /// egress port it was forwarded on; nullptr marks final delivery). This
   /// is the tooling counterpart of §7.1's observability argument — with
   /// sender-chosen path ids, a tracer can reconstruct exact trajectories.
+  // stellar-lint: allow(std-function-hot-path) diagnostics-only hook, null
+  // on measured runs; std::function keeps it copyable for tooling.
   using TraceHook =
       std::function<void(const NetPacket&, const NetLink* link, SimTime at)>;
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }

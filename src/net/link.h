@@ -13,13 +13,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "check/check.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/packet.h"
+#include "sim/inline_action.h"
 #include "sim/simulator.h"
 
 namespace stellar {
@@ -44,7 +44,9 @@ enum class LinkDrainMode {
 
 class NetLink {
  public:
-  using DeliverFn = std::function<void(NetPacket&&)>;
+  /// Per-packet delivery target. InlineFunction (not std::function): this
+  /// fires once per packet per hop, and the capture must stay heap-free.
+  using DeliverFn = InlineFunction<void(NetPacket&&)>;
 
   NetLink(Simulator& sim, std::string name, LinkConfig config,
           std::uint64_t drop_seed = 1)

@@ -30,25 +30,30 @@ double LogHistogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    // try_emplace: Counter holds an atomic and is neither copyable nor
+    // movable, so it must be constructed in place.
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    it = gauges_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
 
 LogHistogram& MetricsRegistry::histogram(std::string_view name) {
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), LogHistogram{}).first;
+    it = histograms_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
@@ -67,6 +72,7 @@ void append_kv(std::string& out, const char* fmt, ...) {
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
+  MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -105,6 +111,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_table() const {
+  MutexLock lock(mu_);
   std::string out;
   std::size_t width = 0;
   for (const auto& [name, c] : counters_) width = std::max(width, name.size());

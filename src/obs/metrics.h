@@ -14,37 +14,57 @@
 //  - all dumped values are integers (counts, sums, picoseconds) — no
 //    floating-point formatting is ever emitted;
 //  - nothing here reads wall-clock time.
+//
+// Shard-safety (PDES readiness): counter/gauge updates are relaxed atomics
+// and the name->series maps are guarded by an internal Mutex, so shards may
+// bump shared series concurrently (tests/tsan_smoke_test.cc runs this under
+// TSan). Histograms stay shard-local by convention: record() is NOT
+// thread-safe and concurrent recording must go through per-shard series.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace stellar::obs {
 
-/// Monotonically non-decreasing event count.
+/// Monotonically non-decreasing event count. Updates are relaxed atomics:
+/// safe from any shard, and exactly as cheap as a plain add when only one
+/// thread exists (the whole single-threaded engine today).
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Instantaneous level (queue depth, pinned bytes, blacklisted paths...).
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t delta) { value_ += delta; }
-  std::int64_t value() const { return value_; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// HDR-style log-bucketed histogram over non-negative integer samples
@@ -132,39 +152,51 @@ class LogHistogram {
 /// Name → series registry. References returned by counter()/gauge()/
 /// histogram() stay valid for the registry's lifetime (std::map nodes are
 /// stable), so hot paths may cache them.
+///
+/// Thread-safety: registration (the map mutations) is serialized on mu_;
+/// cached Counter/Gauge references are safe to bump from any shard (atomic
+/// updates). The visitors and dumps also hold mu_ — do not re-enter the
+/// same registry from inside a visitor.
 class MetricsRegistry {
  public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  LogHistogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) STELLAR_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) STELLAR_EXCLUDES(mu_);
+  LogHistogram& histogram(std::string_view name) STELLAR_EXCLUDES(mu_);
 
-  std::size_t size() const {
+  std::size_t size() const STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
   /// Visit every counter/gauge in lexicographic name order (used by the
   /// periodic sampler to mirror levels onto trace counter tracks).
   template <typename Fn>
-  void for_each_counter(Fn&& fn) const {
+  void for_each_counter(Fn&& fn) const STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (const auto& [name, c] : counters_) fn(name, c.value());
   }
   template <typename Fn>
-  void for_each_gauge(Fn&& fn) const {
+  void for_each_gauge(Fn&& fn) const STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (const auto& [name, g] : gauges_) fn(name, g.value());
   }
 
   /// Byte-deterministic JSON snapshot: lexicographic name order, integer
   /// values only. Histograms dump count/sum/min/max/p50/p99 (quantiles
   /// rendered as integer picoseconds via truncation).
-  std::string to_json() const;
+  std::string to_json() const STELLAR_EXCLUDES(mu_);
 
   /// Human-readable aligned table (same order/content as to_json).
-  std::string to_table() const;
+  std::string to_table() const STELLAR_EXCLUDES(mu_);
 
  private:
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, LogHistogram, std::less<>> histograms_;
+  /// Serializes registration and dumps; series values are atomics.
+  mutable Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_
+      STELLAR_GUARDED_BY(mu_);
+  std::map<std::string, Gauge, std::less<>> gauges_ STELLAR_GUARDED_BY(mu_);
+  std::map<std::string, LogHistogram, std::less<>> histograms_
+      STELLAR_GUARDED_BY(mu_);
 };
 
 }  // namespace stellar::obs

@@ -1,20 +1,25 @@
 #include "obs/obs.h"
 
+#include <atomic>
+
 namespace stellar::obs {
 
 namespace {
-ObsHub* g_hub = nullptr;
+// Atomic so worker threads (TSan smoke; future PDES shards) can read the
+// installed hub while another thread installs/uninstalls one. Release on
+// install pairs with acquire on read, so a thread that sees the pointer
+// also sees the fully constructed hub behind it.
+std::atomic<ObsHub*> g_hub{nullptr};
 }  // namespace
 
-ObsHub* hub() { return g_hub; }
+ObsHub* hub() { return g_hub.load(std::memory_order_acquire); }
 
 ObsHub* install_hub(ObsHub* h) {
-  ObsHub* prev = g_hub;
-  g_hub = h;
-  return prev;
+  return g_hub.exchange(h, std::memory_order_acq_rel);
 }
 
 void ObsHub::attach_periodic(Simulator& sim, SimTime period) {
+  owner_.assert_held();
   detach_periodic();
   periodic_sim_ = &sim;
   period_ = period;
@@ -22,6 +27,7 @@ void ObsHub::attach_periodic(Simulator& sim, SimTime period) {
 }
 
 void ObsHub::detach_periodic() {
+  owner_.assert_held();
   if (periodic_sim_ != nullptr && pending_.valid()) {
     periodic_sim_->cancel(pending_);
   }
@@ -30,6 +36,7 @@ void ObsHub::detach_periodic() {
 }
 
 void ObsHub::fire_periodic() {
+  owner_.assert_held();
   pending_ = EventHandle{};
   const SimTime at = periodic_sim_->now();
   metrics_.for_each_gauge([&](const std::string& name, std::int64_t v) {

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
@@ -59,14 +61,22 @@ class ObsHub {
   void detach_periodic();
 
  private:
+  // Runs as a simulator event, i.e. on the owning shard's thread; it
+  // asserts ownership itself rather than REQUIRES so the scheduling lambda
+  // needs no annotation.
   void fire_periodic();
 
+  // Shard-safety contract: metrics_ and tracer_ are internally synchronized
+  // (atomic counters / Mutex) and safe to probe from any thread. The
+  // periodic-sampler state below belongs to the thread driving the
+  // simulator — it is SingleOwner like the Simulator itself, not locked.
   MetricsRegistry metrics_;
   Tracer tracer_;
-  const Simulator* clock_ = nullptr;
-  Simulator* periodic_sim_ = nullptr;
-  SimTime period_ = SimTime::zero();
-  EventHandle pending_{};
+  const Simulator* clock_ = nullptr;  // set once at setup, then read-only
+  SingleOwner owner_;
+  Simulator* periodic_sim_ STELLAR_GUARDED_BY(owner_) = nullptr;
+  SimTime period_ STELLAR_GUARDED_BY(owner_) = SimTime::zero();
+  EventHandle pending_ STELLAR_GUARDED_BY(owner_){};
 };
 
 /// The installed hub, or nullptr (all probes no-op).

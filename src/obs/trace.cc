@@ -43,6 +43,7 @@ Tracer::Tracer() {
 }
 
 bool Tracer::set_category_filter(std::string_view csv) {
+  MutexLock lock(mu_);
   if (csv.empty()) {
     for (int i = 0; i < kTraceCats; ++i) enabled_[i] = true;
     return true;
@@ -79,12 +80,14 @@ bool Tracer::admit(TraceCat cat) {
 
 void Tracer::complete(TraceCat cat, std::string_view name, SimTime ts,
                       SimTime dur, const TraceArgs& args) {
+  MutexLock lock(mu_);
   if (!admit(cat)) return;
   events_.push_back(Event{'X', cat, std::string(name), ts, dur, args});
 }
 
 void Tracer::instant(TraceCat cat, std::string_view name, SimTime ts,
                      const TraceArgs& args) {
+  MutexLock lock(mu_);
   if (!admit(cat)) return;
   events_.push_back(
       Event{'i', cat, std::string(name), ts, SimTime::zero(), args});
@@ -92,12 +95,14 @@ void Tracer::instant(TraceCat cat, std::string_view name, SimTime ts,
 
 void Tracer::counter(TraceCat cat, std::string_view name, SimTime ts,
                      std::int64_t value) {
+  MutexLock lock(mu_);
   if (!admit(cat)) return;
   events_.push_back(Event{'C', cat, std::string(name), ts, SimTime::zero(),
                           TraceArgs{"value", value}});
 }
 
 std::string Tracer::to_json() const {
+  MutexLock lock(mu_);
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   // Metadata first: name each category track.
   for (int i = 0; i < kTraceCats; ++i) {

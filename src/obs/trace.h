@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace stellar::obs {
@@ -86,50 +88,67 @@ struct TraceArgs {
   }
 };
 
+/// Thread safety: every public entry point takes mu_, so concurrent
+/// producers (the threaded TSan smoke; eventually PDES worker shards
+/// funnelling into a shared tracer) serialize on emission. On the
+/// deterministic single-threaded engine the mutex is uncontended and
+/// byte-determinism is unchanged: event order is call order.
 class Tracer {
  public:
   Tracer();
 
   /// Enable/disable a category track (all enabled by default).
-  void set_enabled(TraceCat cat, bool on) {
+  void set_enabled(TraceCat cat, bool on) STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     enabled_[static_cast<int>(cat)] = on;
   }
-  bool enabled(TraceCat cat) const { return enabled_[static_cast<int>(cat)]; }
+  bool enabled(TraceCat cat) const STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return enabled_[static_cast<int>(cat)];
+  }
 
   /// Keep 1 of every `period` offered events in `cat` (1 = keep all).
   /// The filter is deterministic: it counts offered events per category.
-  void set_sample_period(TraceCat cat, std::uint32_t period) {
+  void set_sample_period(TraceCat cat, std::uint32_t period)
+      STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     sample_period_[static_cast<int>(cat)] = period == 0 ? 1 : period;
   }
 
   /// Apply `set_enabled` from a comma-separated category list
   /// ("transport,net,link"); everything not listed is disabled.
   /// An empty list enables everything. Returns false on an unknown name.
-  bool set_category_filter(std::string_view csv);
+  bool set_category_filter(std::string_view csv) STELLAR_EXCLUDES(mu_);
 
   /// A span with explicit start and duration.
   void complete(TraceCat cat, std::string_view name, SimTime ts, SimTime dur,
-                const TraceArgs& args = {});
+                const TraceArgs& args = {}) STELLAR_EXCLUDES(mu_);
   /// A point event.
   void instant(TraceCat cat, std::string_view name, SimTime ts,
-               const TraceArgs& args = {});
+               const TraceArgs& args = {}) STELLAR_EXCLUDES(mu_);
   /// A counter-track sample (renders as a stacked area chart).
   void counter(TraceCat cat, std::string_view name, SimTime ts,
-               std::int64_t value);
+               std::int64_t value) STELLAR_EXCLUDES(mu_);
 
-  std::size_t event_count() const { return events_.size(); }
-  std::uint64_t dropped_by_sampling() const { return dropped_; }
+  std::size_t event_count() const STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return events_.size();
+  }
+  std::uint64_t dropped_by_sampling() const STELLAR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return dropped_;
+  }
 
   /// Serialize to Chrome trace-event JSON: one event per line, metadata
   /// records first, byte-deterministic.
-  std::string to_json() const;
+  std::string to_json() const STELLAR_EXCLUDES(mu_);
 
   /// Write to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;
 
  private:
   // Sampling admission for one offered event in `cat`.
-  bool admit(TraceCat cat);
+  bool admit(TraceCat cat) STELLAR_REQUIRES(mu_);
 
   struct Event {
     char phase;        // 'X', 'i', 'C'
@@ -140,11 +159,12 @@ class Tracer {
     TraceArgs args;    // 'C' stores the value in args[0]
   };
 
-  bool enabled_[kTraceCats];
-  std::uint32_t sample_period_[kTraceCats];
-  std::uint64_t offered_[kTraceCats];
-  std::uint64_t dropped_ = 0;
-  std::vector<Event> events_;
+  mutable Mutex mu_;
+  bool enabled_[kTraceCats] STELLAR_GUARDED_BY(mu_);
+  std::uint32_t sample_period_[kTraceCats] STELLAR_GUARDED_BY(mu_);
+  std::uint64_t offered_[kTraceCats] STELLAR_GUARDED_BY(mu_);
+  std::uint64_t dropped_ STELLAR_GUARDED_BY(mu_) = 0;
+  std::vector<Event> events_ STELLAR_GUARDED_BY(mu_);
 };
 
 }  // namespace stellar::obs

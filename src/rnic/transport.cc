@@ -1,6 +1,7 @@
 #include "rnic/transport.h"
 
 #include "check/check.h"
+#include "common/ordered.h"
 #include "obs/obs.h"
 
 namespace stellar {
@@ -196,7 +197,10 @@ void RdmaConnection::send_probe(std::uint16_t path) {
 }
 
 void RdmaConnection::kick_probes() {
-  for (const auto& [path, expiry] : blacklist_) {
+  // blacklist_ is a hash map: iterating it directly would schedule probe
+  // events in implementation-defined order and perturb the event sequence
+  // numbers across platforms. Walk the paths sorted.
+  for (std::uint16_t path : sorted_keys(blacklist_)) {
     schedule_probe(path, config_.probe_interval);
   }
 }

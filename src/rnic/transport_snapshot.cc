@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "common/ordered.h"
 #include "rnic/transport.h"
 
 namespace stellar {
@@ -95,15 +96,6 @@ TransportConfig read_config(SnapshotReader& r) {
   c.probe_interval = r.time();
   c.per_path_cc = r.b();
   return c;
-}
-
-template <typename Map>
-std::vector<typename Map::key_type> sorted_keys(const Map& m) {
-  std::vector<typename Map::key_type> keys;
-  keys.reserve(m.size());
-  for (const auto& [k, v] : m) keys.push_back(k);
-  std::sort(keys.begin(), keys.end());
-  return keys;
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
-// Allocation-free callable for the simulation hot path.
+// Allocation-free callables for the simulation hot path.
 //
-// InlineAction is a move-only replacement for std::function<void()> whose
-// small-buffer storage is large enough (kInlineBytes) that every hot-path
-// event closure in the engine fits inline — scheduling a packet hop never
-// touches the heap. Callables that exceed the buffer still work (they fall
-// back to a heap box), so cold-path code keeps its ergonomics; hot call
-// sites pin the contract with `static_assert(InlineAction::fits_inline<F>)`.
+// InlineFunction<R(Args...)> is a move-only replacement for std::function
+// whose small-buffer storage is large enough (kInlineBytes) that every
+// hot-path closure in the engine fits inline — scheduling a packet hop or
+// delivering a packet through a link never touches the heap. Callables that
+// exceed the buffer still work (they fall back to a heap box), so cold-path
+// code keeps its ergonomics; hot call sites pin the contract with
+// `static_assert(InlineAction::fits_inline<F>)`.
+//
+// InlineAction (= InlineFunction<void()>) is the event-closure type the
+// Simulator schedules; NetLink/ClosFabric use the one-argument form for
+// per-packet delivery. The determinism lint (tools/lint/stellar_lint.py,
+// rule std-function-hot-path) keeps std::function out of these layers.
 //
 // Dispatch is split for speed where it matters:
 //
@@ -25,7 +31,11 @@
 
 namespace stellar {
 
-class InlineAction {
+template <typename Sig>
+class InlineFunction;  // only the R(Args...) specialization exists
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   /// Inline storage size. ≥64B by design contract (docs/PERF.md): large
   /// enough for a captured `this` plus a handful of scalar captures.
@@ -38,13 +48,13 @@ class InlineAction {
       alignof(F) <= alignof(std::max_align_t) &&
       std::is_nothrow_move_constructible_v<F>;
 
-  InlineAction() = default;
+  InlineFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineAction> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (fits_inline<Fn>) {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
@@ -57,7 +67,7 @@ class InlineAction {
     }
   }
 
-  InlineAction(InlineAction&& o) noexcept
+  InlineFunction(InlineFunction&& o) noexcept
       : invoke_(o.invoke_), manage_(o.manage_) {
     if (invoke_ != nullptr) {
       if (manage_ == nullptr) {
@@ -70,7 +80,7 @@ class InlineAction {
     }
   }
 
-  InlineAction& operator=(InlineAction&& o) noexcept {
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
     if (this != &o) {
       reset();
       invoke_ = o.invoke_;
@@ -88,10 +98,10 @@ class InlineAction {
     return *this;
   }
 
-  InlineAction(const InlineAction&) = delete;
-  InlineAction& operator=(const InlineAction&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineAction() { reset(); }
+  ~InlineFunction() { reset(); }
 
   void reset() {
     if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
@@ -101,11 +111,13 @@ class InlineAction {
 
   explicit operator bool() const { return invoke_ != nullptr; }
 
-  void operator()() { invoke_(buf_); }
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
 
  private:
   enum class Op { kRelocate, kDestroy };
-  using Invoker = void (*)(void* self);
+  using Invoker = R (*)(void* self, Args&&... args);
   using Manager = void (*)(Op, void* self, void* other);
 
   /// Trivial callables move by memcpy and need no destructor call.
@@ -114,13 +126,14 @@ class InlineAction {
       std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
 
   template <typename Fn>
-  static void inline_invoke(void* self) {
-    (*std::launder(reinterpret_cast<Fn*>(self)))();
+  static R inline_invoke(void* self, Args&&... args) {
+    return (*std::launder(reinterpret_cast<Fn*>(self)))(
+        std::forward<Args>(args)...);
   }
 
   template <typename Fn>
-  static void boxed_invoke(void* self) {
-    (**reinterpret_cast<Fn**>(self))();
+  static R boxed_invoke(void* self, Args&&... args) {
+    return (**reinterpret_cast<Fn**>(self))(std::forward<Args>(args)...);
   }
 
   template <typename Fn>
@@ -155,5 +168,8 @@ class InlineAction {
   Invoker invoke_ = nullptr;
   Manager manage_ = nullptr;
 };
+
+/// The event-closure type the Simulator schedules.
+using InlineAction = InlineFunction<void()>;
 
 }  // namespace stellar

@@ -265,6 +265,7 @@ EventHandle Simulator::schedule_at(SimTime at, Action action) {
 
 EventHandle Simulator::schedule_at_seq(SimTime at, std::uint64_t reserved_seq,
                                        Action action) {
+  owner_.assert_held();
   if (at < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
@@ -300,6 +301,7 @@ EventHandle Simulator::schedule_at_seq(SimTime at, std::uint64_t reserved_seq,
 }
 
 bool Simulator::cancel(EventHandle handle) {
+  owner_.assert_held();
   if (!handle.valid()) return false;
   const std::uint64_t id = handle.id();
   const std::uint64_t slot = id >> 32;
@@ -347,6 +349,7 @@ void Simulator::consume_and_run(std::uint32_t idx) {
 }
 
 bool Simulator::step() {
+  owner_.assert_held();
   const std::uint32_t idx = peek_live();
   if (idx == kNone) return false;
   consume_and_run(idx);
@@ -360,6 +363,7 @@ std::uint64_t Simulator::run() {
 }
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
+  owner_.assert_held();
   std::uint64_t n = 0;
   for (;;) {
     const std::uint32_t idx = peek_live();
@@ -375,6 +379,7 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
 }
 
 Simulator::HeapStats Simulator::heap_stats() const {
+  owner_.assert_held();
   HeapStats st;
   for (const auto& level : levels_) {
     for (const auto& slot : level.slots) st.wheel_entries += slot.size();

@@ -27,6 +27,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "sim/inline_action.h"
 
@@ -70,7 +72,10 @@ class Simulator {
   /// arms the shared event with schedule_at_seq(): equal-timestamp FIFO
   /// ordering against every other event stays exactly as if each item had
   /// its own event.
-  std::uint64_t reserve_seq() { return next_seq_++; }
+  std::uint64_t reserve_seq() {
+    owner_.assert_held();
+    return next_seq_++;
+  }
 
   /// Schedule `action` at `at` using a previously reserve_seq()'d tie-break
   /// sequence number instead of consuming a fresh one. Each reserved seq
@@ -115,6 +120,15 @@ class Simulator {
 
  private:
   friend struct SimulatorTestPeer;  // corruption injection in audit tests
+
+  // Shard-safety contract: the whole scheduler is single-owner state — one
+  // shard (today: the one simulation thread) drives it without locks. The
+  // deep scheduler structures are STELLAR_GUARDED_BY(owner_); every public
+  // mutating entry point opens with owner_.assert_held(), which the clang
+  // thread-safety analysis treats as acquiring the capability and audit
+  // builds enforce at runtime (src/common/mutex.h). The published counters
+  // (now_, live_events_, executed_, next_seq_) stay unannotated: they are
+  // written only under the same ownership and read by cold accessors.
 
   // -- Event record pool ------------------------------------------------------
   //
@@ -192,61 +206,70 @@ class Simulator {
     return kGranularityShift + static_cast<unsigned>(level) * kSlotBits;
   }
 
-  EventRecord& record(std::uint32_t idx) {
+  EventRecord& record(std::uint32_t idx) STELLAR_REQUIRES(owner_) {
     return chunks_[idx >> kChunkBits][idx & (kChunkSize - 1)];
   }
-  const EventRecord& record(std::uint32_t idx) const {
+  const EventRecord& record(std::uint32_t idx) const
+      STELLAR_REQUIRES(owner_) {
     return chunks_[idx >> kChunkBits][idx & (kChunkSize - 1)];
   }
 
-  std::uint32_t alloc_record();
-  void free_record(std::uint32_t idx);
+  std::uint32_t alloc_record() STELLAR_REQUIRES(owner_);
+  void free_record(std::uint32_t idx) STELLAR_REQUIRES(owner_);
 
   /// Place an entry whose level-0 tick differs from cur_tick_ into the
   /// right wheel level or the overflow heap.
-  void place_entry(const Entry& e);
+  void place_entry(const Entry& e) STELLAR_REQUIRES(owner_);
   /// Sorted insert into the active bucket (entry tick == cur_tick_).
-  void bucket_insert(const Entry& e);
+  void bucket_insert(const Entry& e) STELLAR_REQUIRES(owner_);
   /// Move the un-drained tail of the bucket back into the wheels and make
   /// `new_tick` the active tick (scheduling earlier than the cursor after
   /// run_until() parked it on a far-future slot).
-  void rewind_to(std::int64_t new_tick);
+  void rewind_to(std::int64_t new_tick) STELLAR_REQUIRES(owner_);
   /// Smallest pending tick at `level` granularity, or -1 if level empty.
-  std::int64_t next_occupied_tick(int level) const;
+  std::int64_t next_occupied_tick(int level) const STELLAR_REQUIRES(owner_);
   /// Move one outer-level slot down: its entries land in the level-0
   /// wheel or the bucket; tombstones are swept on the way.
-  void cascade(int level, std::int64_t level_tick);
+  void cascade(int level, std::int64_t level_tick) STELLAR_REQUIRES(owner_);
   /// Load the next non-empty slot into bucket_ (sorted). False if drained.
-  bool advance_to_next_bucket();
+  bool advance_to_next_bucket() STELLAR_REQUIRES(owner_);
   /// Index of the next live event without consuming it, or kNone.
   /// Sweeps tombstones and advances the wheel cursor as needed.
-  std::uint32_t peek_live();
+  std::uint32_t peek_live() STELLAR_REQUIRES(owner_);
   /// Pop the event found by peek_live() and run it.
-  void consume_and_run(std::uint32_t idx);
+  void consume_and_run(std::uint32_t idx) STELLAR_REQUIRES(owner_);
 
-  void overflow_push(Entry e);
-  Entry overflow_pop();
+  void overflow_push(Entry e) STELLAR_REQUIRES(owner_);
+  Entry overflow_pop() STELLAR_REQUIRES(owner_);
+
+  // Single-owner capability for the whole scheduler (see contract above).
+  SingleOwner owner_;
 
   // Pool.
-  std::vector<std::unique_ptr<EventRecord[]>> chunks_;
-  std::uint32_t free_head_ = kNone;
-  std::size_t pool_capacity_ = 0;
-  std::size_t allocated_records_ = 0;
+  std::vector<std::unique_ptr<EventRecord[]>> chunks_
+      STELLAR_GUARDED_BY(owner_);
+  std::uint32_t free_head_ STELLAR_GUARDED_BY(owner_) = kNone;
+  std::size_t pool_capacity_ STELLAR_GUARDED_BY(owner_) = 0;
+  std::size_t allocated_records_ STELLAR_GUARDED_BY(owner_) = 0;
 
   // Scheduler structures.
-  WheelLevel levels_[kLevels];
-  std::vector<Entry> overflow_;  // min-heap by (at, seq)
-  std::vector<Entry> bucket_;    // active tick, sorted ascending
-  std::size_t bucket_pos_ = 0;   // consumed prefix of bucket_
-  std::int64_t cur_tick_ = 0;    // level-0 tick the bucket belongs to
+  WheelLevel levels_[kLevels] STELLAR_GUARDED_BY(owner_);
+  // min-heap by (at, seq)
+  std::vector<Entry> overflow_ STELLAR_GUARDED_BY(owner_);
+  // active tick, sorted ascending
+  std::vector<Entry> bucket_ STELLAR_GUARDED_BY(owner_);
+  // consumed prefix of bucket_
+  std::size_t bucket_pos_ STELLAR_GUARDED_BY(owner_) = 0;
+  // level-0 tick the bucket belongs to
+  std::int64_t cur_tick_ STELLAR_GUARDED_BY(owner_) = 0;
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t live_events_ = 0;
   std::uint64_t executed_ = 0;
   // Double-entry bookkeeping mirrored by the auditor against `queued`.
-  std::size_t pending_count_ = 0;
-  std::size_t tombstones_ = 0;
+  std::size_t pending_count_ STELLAR_GUARDED_BY(owner_) = 0;
+  std::size_t tombstones_ STELLAR_GUARDED_BY(owner_) = 0;
 };
 
 }  // namespace stellar

@@ -1,0 +1,14 @@
+// Fixture: bench/bench_util.h is the wall-clock whitelist — host-side
+// timing helpers live here, so nothing may fire.
+#pragma once
+
+#include <chrono>
+
+namespace stellar::benchutil {
+
+inline double wall_seconds() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace stellar::benchutil

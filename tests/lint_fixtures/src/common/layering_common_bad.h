@@ -1,0 +1,7 @@
+// Fixture: src/common is the bottom layer and may include nothing above it.
+#pragma once
+
+#include "common/units.h"  // ok: intra-module
+#include "sim/simulator.h"  // expect: layering
+
+namespace stellar {}

@@ -1,0 +1,14 @@
+// Fixture: the hot-path std::function ban also covers net/link.* and
+// net/fabric.* by exact path (this file mirrors src/net/link.h).
+#pragma once
+
+#include <functional>
+
+namespace stellar {
+
+class FixtureLink {
+ public:
+  using DeliverFn = std::function<void(int)>;  // expect: std-function-hot-path
+};
+
+}  // namespace stellar

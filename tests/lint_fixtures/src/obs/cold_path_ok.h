@@ -1,0 +1,18 @@
+// Fixture: std::function is allowed outside the hot path (src/obs is not a
+// scheduling layer), so nothing here may fire.
+#pragma once
+
+#include <functional>
+
+namespace stellar {
+
+class ColdCallbacks {
+ public:
+  using Hook = std::function<void()>;
+  void set_hook(std::function<void()> h) { hook_ = std::move(h); }
+
+ private:
+  std::function<void()> hook_;
+};
+
+}  // namespace stellar

@@ -1,0 +1,45 @@
+// Fixture: float formatting in src/ emitters is banned; human-readable
+// to_string renderers are exempt by rule.
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace stellar {
+
+std::string to_json_sample(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);  // expect: float-format
+  return buf;
+}
+
+std::string stream_dump(double v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << v;  // expect: float-format
+  os << std::fixed << v;            // expect: float-format
+  return os.str();
+}
+
+// Clean: integer formats are exact everywhere.
+std::string emit_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+// Clean: to_string is a human-readable renderer, exempt by rule.
+std::string to_string(double secs) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f s", secs);
+  return buf;
+}
+
+// Suppression with a justification.
+std::string legacy_dump(double v) {
+  char buf[32];
+  // stellar-lint: allow(float-format) fixture: justified suppression
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace stellar

@@ -1,0 +1,11 @@
+// Fixture: src/sim sits below the network layers in the module DAG and
+// must not reach up.
+#pragma once
+
+#include "common/units.h"    // ok: sim -> common
+#include "check/check.h"     // ok: sim -> check
+#include "net/link.h"        // expect: layering
+#include "rnic/transport.h"  // expect: layering
+#include <vector>            // system headers are never layering findings
+
+namespace stellar {}

@@ -1,0 +1,26 @@
+// Fixture: std::function is banned in the scheduling hot path (src/sim).
+#pragma once
+
+#include <functional>
+
+#include "sim/inline_action.h"
+
+namespace stellar {
+
+class MiniScheduler {
+ public:
+  using Callback = std::function<void()>;  // expect: std-function-hot-path
+
+  void post(std::function<void(int)> f) {  // expect: std-function-hot-path
+    f(0);
+  }
+
+  // Clean: the sanctioned allocation-free callable.
+  void post_inline(InlineFunction<void(int)> f) { f(0); }
+
+  // Suppression with a justification.
+  // stellar-lint: allow(std-function-hot-path) fixture: cold diagnostics
+  using DebugHook = std::function<void()>;
+};
+
+}  // namespace stellar

@@ -1,0 +1,41 @@
+// Fixture: every whitelisted-elsewhere wall-clock/randomness source must be
+// flagged inside src/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace stellar {
+
+long bad_now() {
+  auto t = std::chrono::steady_clock::now();  // expect: wall-clock
+  auto s = std::chrono::system_clock::now();  // expect: wall-clock
+  (void)s;
+  std::time_t wall = std::time(nullptr);  // expect: wall-clock
+  (void)wall;
+  long c = std::clock();  // expect: wall-clock
+  return c + t.time_since_epoch().count();
+}
+
+int bad_random() {
+  std::srand(42);           // expect: wall-clock
+  int a = std::rand();      // expect: wall-clock
+  std::random_device dev;   // expect: wall-clock
+  return a + static_cast<int>(dev());
+}
+
+// Suppression works per line, with a justification.
+long allowed_now() {
+  // stellar-lint: allow(wall-clock) fixture: justified suppression
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+// Identifiers that merely *contain* the banned names must not fire: the
+// SnapshotWriter-style member call w.time(...) is not a libc time() read.
+struct Writer {
+  void time(long) {}
+};
+void fine(Writer& w, long runtime) { w.time(runtime); }
+
+}  // namespace stellar

@@ -1,0 +1,29 @@
+// Deliberate data race — the negative control for the TSan wiring.
+//
+// tools/ci_checks.sh runs this binary in the -DSTELLAR_SANITIZE=thread
+// build and requires it to FAIL (TSan's default exit code on a detected
+// race is 66). If it ever runs clean under TSan, the sanitizer gate itself
+// is broken — misconfigured flags would otherwise let the real smoke test
+// (tests/tsan_smoke_test.cc) pass vacuously.
+//
+// Not registered with ctest: in a plain build the race is benign-looking
+// and the binary exits 0, which is exactly why it must only be interpreted
+// under TSan.
+
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+int main() {
+  std::uint64_t unsynchronized = 0;  // racy on purpose: no atomic, no lock
+  auto bump = [&unsynchronized] {
+    for (int i = 0; i < 100000; ++i) ++unsynchronized;
+  };
+  std::thread a(bump);
+  std::thread b(bump);
+  a.join();
+  b.join();
+  std::printf("tsan_race_demo: %llu\n",
+              static_cast<unsigned long long>(unsynchronized));
+  return 0;
+}

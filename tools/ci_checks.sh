@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # Full CI gate for the repo. Runs, in order:
+#   0. stellar-lint determinism/layering sweep (fixture self-tests + the
+#      full tree; tools/lint/stellar_lint.py, dependency-free python)
 #   1. default build (STELLAR_AUDIT=ON) + the complete test suite
 #   2. the audit-labelled invariant tests on their own (fast signal)
 #   3. the fault-labelled fault-injection/recovery tests on their own
@@ -14,16 +16,22 @@
 #      byte-determinism and the summarizer's parser, end to end)
 #   8. ASan+UBSan build + the complete test suite + the fault, sim, obs
 #      and migrate suites
-#   9. clang-tidy over src/ (skipped gracefully when not installed)
-#  10. STELLAR_AUDIT=OFF + STELLAR_TRACE=OFF build of the bench binaries —
+#   9. TSan build (-DSTELLAR_SANITIZE=thread) + the threaded shard-safety
+#      smoke, with a negative control: a deliberately racy demo binary must
+#      FAIL under TSan, proving the wiring detects real races
+#  10. clang thread-safety analysis build of the src/ libraries with
+#      -Werror=thread-safety (skipped gracefully when clang is absent)
+#  11. clang-tidy over src/ (skipped gracefully when not installed)
+#  12. STELLAR_AUDIT=OFF + STELLAR_TRACE=OFF build of the bench binaries —
 #      proves both instrumentation layers compile out of hot paths
 #      entirely — plus a sim_core smoke run (wheel-vs-heap cross-check at
 #      reduced scale)
 #
-#   tools/ci_checks.sh [--skip-san]
+#   tools/ci_checks.sh [--skip-san] [--lint-only]
 #
-# --skip-san drops step 3 (the sanitizer rebuild roughly doubles the wall
-# time; the default gate runs everything).
+# --skip-san drops the sanitizer rebuilds (ASan+UBSan and TSan roughly
+# double the wall time; the default gate runs everything).
+# --lint-only runs only step 0 — the fast pre-commit path (< ~5 s).
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,9 +39,11 @@ cd "$repo_root"
 jobs="$(nproc 2> /dev/null || echo 2)"
 
 skip_san=0
+lint_only=0
 for arg in "$@"; do
   case "$arg" in
     --skip-san) skip_san=1 ;;
+    --lint-only) lint_only=1 ;;
     *)
       echo "ci_checks: unknown argument '$arg'" >&2
       exit 2
@@ -42,6 +52,18 @@ for arg in "$@"; do
 done
 
 step() { printf '\n=== ci_checks: %s ===\n' "$*"; }
+
+step "stellar-lint fixture self-tests"
+python3 tools/lint/stellar_lint.py --self-test
+
+step "stellar-lint determinism/layering sweep (src/ + bench/)"
+python3 tools/lint/stellar_lint.py
+
+if [ "$lint_only" -eq 1 ]; then
+  echo
+  echo "ci_checks: lint gates passed (--lint-only)"
+  exit 0
+fi
 
 step "default build (STELLAR_AUDIT=ON)"
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
@@ -105,6 +127,37 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -L migrate
 else
   step "sanitizer pass skipped (--skip-san)"
+fi
+
+if [ "$skip_san" -eq 0 ]; then
+  step "TSan build (-DSTELLAR_SANITIZE=thread) + threaded shard-safety smoke"
+  cmake -B build-tsan -S . -DSTELLAR_SANITIZE=thread
+  cmake --build build-tsan -j"$jobs" \
+    --target stellar_tsan_smoke_tests stellar_tsan_race_demo
+  build-tsan/tests/stellar_tsan_smoke_tests
+
+  step "TSan negative control (racy demo binary must fail under TSan)"
+  if build-tsan/tests/stellar_tsan_race_demo > /dev/null 2>&1; then
+    echo "ci_checks: FATAL: tsan_race_demo ran clean under TSan —" >&2
+    echo "the sanitizer wiring is not detecting races" >&2
+    exit 1
+  else
+    echo "race demo failed under TSan as required (wiring verified)"
+  fi
+else
+  step "TSan pass skipped (--skip-san)"
+fi
+
+step "clang thread-safety analysis (-Werror=thread-safety, src/ libraries)"
+if command -v clang++ > /dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++
+  cmake --build build-tsa -j"$jobs" --target \
+    stellar_common stellar_check stellar_sim stellar_obs stellar_memory \
+    stellar_pcie stellar_net stellar_rnic stellar_virt stellar_core \
+    stellar_collective stellar_workload stellar_audit stellar_fault
+else
+  echo "clang++ not installed; skipping thread-safety analysis build"
+  echo "(the STELLAR_* annotations compile to nothing under gcc)"
 fi
 
 step "clang-tidy"

@@ -35,4 +35,10 @@ cd "$repo_root"
 files=$(find src -name '*.cc' | sort)
 echo "run_tidy: $tidy_bin over $(echo "$files" | wc -l) files"
 # shellcheck disable=SC2086
-"$tidy_bin" -p "$build_dir" --quiet $files
+if ! "$tidy_bin" -p "$build_dir" --quiet $files; then
+  echo >&2
+  echo "run_tidy: FAILED — clang-tidy reported findings (see above)." >&2
+  echo "run_tidy: fix them or add a justified NOLINT(<check>) at the site." >&2
+  exit 1
+fi
+echo "run_tidy: clean"
