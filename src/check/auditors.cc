@@ -103,7 +103,7 @@ void PinAccountingAuditor::audit(AuditReport& report) const {
       const Gpa page = block + off;
       if (!ept_->translate(page).is_ok()) continue;  // never registered
       report.note_check();
-      if (!iommu_->is_mapped(IoVa{page.value()})) {
+      if (!iommu_->is_mapped(IoVa{pvdma_->iova_base() + page.value()})) {
         report.fail(name(), "pinned block " + hex(block.value()) +
                                 " lost its IOMMU mapping at GPA " +
                                 hex(page.value()));
@@ -119,8 +119,9 @@ void PinAccountingAuditor::audit(AuditReport& report) const {
   if (exclusive_iommu_) {
     for (const auto& [start, entry] : iommu_->table()) {
       report.note_check();
-      const Gpa first{start};
-      const Gpa last{start + entry.len - 1};
+      // IOMMU windows live at iova_base + GPA (per-VM namespacing).
+      const Gpa first{start - pvdma_->iova_base()};
+      const Gpa last{start - pvdma_->iova_base() + entry.len - 1};
       if (!cache.contains(first) || !cache.contains(last)) {
         report.fail(name(), "stale IOMMU mapping [" + hex(start) + ", " +
                                 hex(start + entry.len) +
@@ -343,6 +344,106 @@ void SimulatorAuditor::audit(AuditReport& report) const {
                 "record pool has " + std::to_string(stats.allocated_records) +
                     " records in use but pending+tombstones = " +
                     std::to_string(stats.pending_ids + stats.tombstones));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (f) Per-tenant accounting sums to global usage.
+// ---------------------------------------------------------------------------
+
+void TenantIsolationAuditor::audit(AuditReport& report) const {
+  const Iommu& iommu = host_->pcie().iommu();
+
+  std::uint64_t pinned_sum = 0;
+  for (const auto& [tenant, bytes] : iommu.pinned_by_tenant()) {
+    pinned_sum += bytes;
+  }
+  report.note_check();
+  if (pinned_sum != iommu.pinned_bytes()) {
+    report.fail(name(), "IOMMU pinned bytes: per-tenant sum " +
+                            std::to_string(pinned_sum) + " != global " +
+                            std::to_string(iommu.pinned_bytes()));
+  }
+
+  std::size_t iotlb_sum = 0;
+  for (const auto& [tenant, n] : iommu.iotlb_occupancy_by_tenant()) {
+    iotlb_sum += n;
+  }
+  report.note_check();
+  if (iotlb_sum != iommu.iotlb_size()) {
+    report.fail(name(), "IOTLB occupancy: per-tenant sum " +
+                            std::to_string(iotlb_sum) + " != resident " +
+                            std::to_string(iommu.iotlb_size()));
+  }
+
+  for (std::size_t i = 0; i < host_->rnic_count(); ++i) {
+    const Rnic& rnic = host_->rnic(i);
+    const std::string where = " (rnic " + std::to_string(i) + ")";
+
+    std::uint64_t mtt_sum = 0;
+    for (const auto& [tenant, pages] : rnic.mtt().pages_by_tenant()) {
+      mtt_sum += pages;
+    }
+    report.note_check();
+    if (mtt_sum != rnic.mtt().used_pages()) {
+      report.fail(name(), "MTT pages: per-tenant sum " +
+                              std::to_string(mtt_sum) + " != used " +
+                              std::to_string(rnic.mtt().used_pages()) + where);
+    }
+
+    std::size_t mr_sum = 0;
+    for (const auto& [vm, n] : rnic.verbs().mr_count_by_vm()) mr_sum += n;
+    report.note_check();
+    if (mr_sum != rnic.verbs().mr_count()) {
+      report.fail(name(), "verbs MRs: per-tenant sum " +
+                              std::to_string(mr_sum) + " != total " +
+                              std::to_string(rnic.verbs().mr_count()) + where);
+    }
+
+    std::size_t qp_sum = 0;
+    for (const auto& [vm, n] : rnic.verbs().qp_count_by_vm()) qp_sum += n;
+    report.note_check();
+    if (qp_sum != rnic.verbs().qp_count()) {
+      report.fail(name(), "verbs QPs: per-tenant sum " +
+                              std::to_string(qp_sum) + " != total " +
+                              std::to_string(rnic.verbs().qp_count()) + where);
+    }
+  }
+
+  const VSwitch& vsw = host_->vswitch();
+  std::size_t rule_sum = 0;
+  for (const auto& [tenant, n] : vsw.rules_by_tenant()) rule_sum += n;
+  report.note_check();
+  if (rule_sum != vsw.rule_count()) {
+    report.fail(name(), "vSwitch rules: per-tenant sum " +
+                            std::to_string(rule_sum) + " != table size " +
+                            std::to_string(vsw.rule_count()));
+  }
+  std::size_t depth_sum = 0;
+  for (const auto& [tenant, n] : vsw.queue_depth_by_tenant()) depth_sum += n;
+  report.note_check();
+  if (depth_sum != vsw.queued_packets()) {
+    report.fail(name(), "vSwitch backlog: per-tenant sum " +
+                            std::to_string(depth_sum) + " != queued " +
+                            std::to_string(vsw.queued_packets()));
+  }
+
+  // PVDMA cross-check: with on-demand pinning, each booted VM pins under
+  // its own tenant id, so the two ledgers must agree per tenant.
+  if (host_->hypervisor().config().use_pvdma) {
+    for (VmId vm : host_->hypervisor().booted_vms()) {
+      const Pvdma& pvdma = host_->hypervisor().pvdma(vm);
+      report.note_check();
+      if (pvdma.pinned_bytes() != iommu.pinned_bytes(pvdma.tenant())) {
+        report.fail(name(), "VM " + std::to_string(vm) + " PVDMA pins " +
+                                std::to_string(pvdma.pinned_bytes()) +
+                                " bytes but IOMMU attributes " +
+                                std::to_string(iommu.pinned_bytes(
+                                    pvdma.tenant())) +
+                                " to tenant " +
+                                std::to_string(pvdma.tenant()));
+      }
+    }
   }
 }
 

@@ -91,6 +91,23 @@ class TransportAuditor final : public InvariantAuditor {
   const RdmaEngine* engine_;
 };
 
+/// (f) Multi-tenant accounting closure (docs/TENANCY.md): every shared
+/// resource's per-tenant ledger must sum exactly to its global counter —
+/// IOMMU pinned bytes and IOTLB occupancy, per-RNIC MTT pages and verbs
+/// MR/QP counts, vSwitch rule slots and egress backlog — and, with PVDMA
+/// enabled, each booted VM's own pin counter must equal the IOMMU's
+/// attribution for that tenant. Any gap means usage leaked across tenant
+/// boundaries (the precondition for unattributable noisy-neighbor damage).
+class TenantIsolationAuditor final : public InvariantAuditor {
+ public:
+  explicit TenantIsolationAuditor(StellarHost& host) : host_(&host) {}
+  const char* name() const override { return "tenant-isolation"; }
+  void audit(AuditReport& report) const override;
+
+ private:
+  StellarHost* host_;
+};
+
 /// (e) Simulator scheduler sanity: the live-event counter matches the
 /// pending-entry counter, the walked timing-wheel structures (wheel slots +
 /// overflow heap + active bucket) hold exactly pending + tombstoned

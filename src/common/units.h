@@ -13,6 +13,20 @@
 namespace stellar {
 
 // ---------------------------------------------------------------------------
+// Identity
+// ---------------------------------------------------------------------------
+
+/// One tenant (a VM / RunD container) as the unit of isolation, accounting
+/// and QoS. Numerically identical to VmId (rnic/verbs.h) — defined here, at
+/// the bottom of the layering DAG, so memory/pcie/net layers can attribute
+/// shared-resource usage without depending on the virtualization stack.
+using TenantId = std::uint32_t;
+
+/// Usage that predates the tenant layer (or belongs to the host itself) is
+/// attributed to tenant 0, mirroring kHostVm.
+inline constexpr TenantId kHostTenant = 0;
+
+// ---------------------------------------------------------------------------
 // Time
 // ---------------------------------------------------------------------------
 

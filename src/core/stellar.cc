@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/tenant.h"
+
 namespace stellar {
 
 namespace {
@@ -50,9 +52,13 @@ StellarHost::StellarHost(StellarHostConfig config)
     gpu_bdfs_.push_back(bdf);
     gpu_bars_.push_back(bar.value());
   }
+
+  tenants_ = std::make_unique<TenantManager>(*this);
 }
 
 StellarHost::~StellarHost() = default;
+
+TenantManager& StellarHost::tenants() { return *tenants_; }
 
 StatusOr<VStellarDevice*> StellarHost::create_vstellar_device(
     RundContainer& container, std::size_t rnic_index) {
@@ -62,6 +68,9 @@ StatusOr<VStellarDevice*> StellarHost::create_vstellar_device(
   if (!container.booted()) {
     return failed_precondition("StellarHost: container not booted");
   }
+  if (Status s = tenants_->admit_device(container.id()); !s.is_ok()) return s;
+  // The container's PVDMA exists by now — (re)apply its pin budget.
+  tenants_->apply(container.id());
   Rnic& rnic = *rnics_[rnic_index];
   auto hw = rnic.create_virtual_device(container.id());
   if (!hw.is_ok()) return hw.status();
@@ -100,6 +109,58 @@ std::vector<VStellarDevice*> StellarHost::devices_for_vm(VmId vm) {
     if (dev->vm() == vm) out.push_back(dev.get());
   }
   return out;
+}
+
+std::size_t StellarHost::device_count(VmId vm) const {
+  std::size_t n = 0;
+  for (const auto& dev : devices_) {
+    if (dev->vm() == vm) ++n;
+  }
+  return n;
+}
+
+StatusOr<StellarHost::TenantKillReport> StellarHost::kill_tenant(
+    RundContainer& container) {
+  const VmId vm = container.id();
+  TenantKillReport report;
+  const std::uint64_t pinned_before = pcie_->iommu().pinned_bytes(vm);
+
+  // Tear down every device: MRs first (releasing the PVDMA pins), then the
+  // QPs, then the device itself. Deterministic order via sorted MR keys.
+  for (VStellarDevice* dev : devices_for_vm(vm)) {
+    for (MrKey key : dev->memory_keys()) {
+      if (Status s = dev->deregister_memory(key); !s.is_ok()) return s;
+      ++report.mrs;
+    }
+    for (const QueuePair& qp : dev->rnic().verbs().qps_in_pd(dev->pd())) {
+      if (Status s = dev->rnic().verbs().destroy_qp(qp.num); !s.is_ok()) {
+        return s;
+      }
+      ++report.qps;
+    }
+    if (Status s = destroy_vstellar_device(dev); !s.is_ok()) return s;
+    ++report.devices;
+  }
+
+  report.rules_removed = vswitch_.remove_tenant_rules(vm);
+  vswitch_.clear_qos(vm);
+
+  if (container.booted()) {
+    if (Status s = hypervisor_->shutdown_container(container); !s.is_ok()) {
+      return s;
+    }
+  }
+
+  report.unpinned_bytes = pinned_before - pcie_->iommu().pinned_bytes(vm);
+  std::uint64_t residue = pcie_->iommu().pinned_bytes(vm);
+  residue += device_count(vm);
+  for (const auto& rnic : rnics_) {
+    residue += rnic->mtt().tenant_pages(vm);
+    residue += rnic->verbs().mr_count(vm);
+    residue += rnic->verbs().qp_count(vm);
+  }
+  report.fully_reclaimed = residue == 0;
+  return report;
 }
 
 StatusOr<std::string> StellarHost::serialize_vm_devices(VmId vm) const {
@@ -202,7 +263,8 @@ StatusOr<StellarHost::DeviceRestoreReport> StellarHost::restore_vm_devices(
       MemoryRegion mr{key, dev->pd_, rec.va, rec.len, rec.owner};
       if (Status s = dev->rnic_->verbs().adopt_mr(mr); !s.is_ok()) return s;
       if (Status s = dev->rnic_->mtt().register_region(
-              key, rec.va, rec.len, final_hpa, rec.owner, /*translated=*/true);
+              key, rec.va, rec.len, final_hpa, rec.owner, /*translated=*/true,
+              dev->vm_);
           !s.is_ok()) {
         return s;
       }
@@ -251,6 +313,7 @@ GdrEngine StellarHost::make_gdr_engine(GdrMode mode, std::size_t rnic_index) {
     atcs_.push_back(std::make_unique<Atc>(*pcie_, rnic.pf_bdf(),
                                           rnic.config().atc_capacity_pages));
     atc = atcs_.back().get();
+    tenants_->apply_to_atc(*atc);
   }
   return GdrEngine(*pcie_, cfg, mode, atc);
 }
@@ -276,6 +339,7 @@ StatusOr<VStellarDevice::RegisterResult> VStellarDevice::register_memory(
     Gva va, std::uint64_t len, MemoryOwner owner, std::uint64_t guest_addr,
     std::size_t gpu_index) {
   Hypervisor& hyp = host_->hypervisor();
+  if (Status s = host_->tenants().admit_mr(vm_); !s.is_ok()) return s;
   RegisterResult out;
   out.latency = hyp.control_path(vm_).execute(ControlCommand::kRegisterMr);
 
@@ -307,7 +371,7 @@ StatusOr<VStellarDevice::RegisterResult> VStellarDevice::register_memory(
   // The Stellar twist: the MTT entry stores the *final* HPA and the memory
   // owner — an eMTT entry (§6).
   Status s = rnic_->mtt().register_region(mr.value(), va, len, final_hpa,
-                                          owner, /*translated=*/true);
+                                          owner, /*translated=*/true, vm_);
   if (!s.is_ok()) {
     (void)rnic_->verbs().deregister_mr(mr.value());
     return s;
@@ -345,6 +409,7 @@ Status VStellarDevice::deregister_memory(MrKey key) {
 }
 
 StatusOr<QpNum> VStellarDevice::create_qp() {
+  if (Status s = host_->tenants().admit_qp(vm_); !s.is_ok()) return s;
   host_->hypervisor().control_path(vm_).execute(ControlCommand::kCreateQp);
   return rnic_->verbs().create_qp(pd_);
 }

@@ -27,6 +27,7 @@
 #include "pcie/host_pcie.h"
 #include "rnic/device.h"
 #include "rnic/gdr.h"
+#include "rnic/vswitch.h"
 #include "virt/container.h"
 #include "virt/hypervisor.h"
 #include "virt/runtime.h"
@@ -44,6 +45,7 @@ struct StellarHostConfig {
 };
 
 class VStellarDevice;
+class TenantManager;
 
 class StellarHost {
  public:
@@ -58,7 +60,14 @@ class StellarHost {
   HostPcie& pcie() { return *pcie_; }
   Hypervisor& hypervisor() { return *hypervisor_; }
   Rnic& rnic(std::size_t i) { return *rnics_.at(i); }
+  const Rnic& rnic(std::size_t i) const { return *rnics_.at(i); }
   std::size_t rnic_count() const { return rnics_.size(); }
+  /// ATCs created for kAtsAtc GDR engines (tenant shares apply to them).
+  Atc& atc(std::size_t i) { return *atcs_.at(i); }
+  std::size_t atc_count() const { return atcs_.size(); }
+  /// Host-level flow-steering table shared by every tenant's kernel stack.
+  VSwitch& vswitch() { return vswitch_; }
+  const VSwitch& vswitch() const { return vswitch_; }
   Bdf gpu_bdf(std::size_t i) const { return gpu_bdfs_.at(i); }
   Bar gpu_bar(std::size_t i) const { return gpu_bars_.at(i); }
   std::size_t gpu_count() const { return gpu_bdfs_.size(); }
@@ -88,6 +97,31 @@ class StellarHost {
 
   /// All vStellar devices owned by `vm`, in creation order.
   std::vector<VStellarDevice*> devices_for_vm(VmId vm);
+  std::size_t device_count(VmId vm) const;
+
+  // -- Multi-tenant isolation ------------------------------------------------------
+
+  /// Budget/admission/degradation policy layer (docs/TENANCY.md).
+  TenantManager& tenants();
+
+  struct TenantKillReport {
+    std::size_t devices = 0;
+    std::size_t mrs = 0;
+    std::size_t qps = 0;
+    std::size_t rules_removed = 0;
+    std::uint64_t unpinned_bytes = 0;
+    /// Every per-tenant ledger (pins, MTT pages, verbs objects, IOTLB
+    /// occupancy after shootdown) reads zero after the reclaim.
+    bool fully_reclaimed = false;
+  };
+
+  /// Forcibly evict a tenant — the attacker-killed-mid-flood path. Tears
+  /// down every vStellar device (deregistering MRs, releasing PVDMA pins,
+  /// destroying QPs), drops the tenant's vSwitch rules and QoS state, and
+  /// shuts the container down. All shared-resource accounting for the
+  /// tenant must return to zero (auditors stay green), with zero effect on
+  /// other tenants' resources.
+  StatusOr<TenantKillReport> kill_tenant(RundContainer& container);
 
   // -- Live migration ------------------------------------------------------------
 
@@ -136,6 +170,8 @@ class StellarHost {
   std::vector<Bar> gpu_bars_;
   std::vector<std::unique_ptr<VStellarDevice>> devices_;
   std::vector<std::unique_ptr<Atc>> atcs_;  // for baseline GDR engines
+  VSwitch vswitch_;
+  std::unique_ptr<TenantManager> tenants_;
 };
 
 class VStellarDevice {

@@ -1,0 +1,188 @@
+#include "core/tenant.h"
+
+#include <algorithm>
+
+#include "core/stellar.h"
+
+namespace stellar {
+
+const char* to_string(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kGreen: return "green";
+    case DegradeLevel::kThrottled: return "throttled";
+    case DegradeLevel::kShed: return "shed";
+  }
+  return "?";
+}
+
+Status TenantManager::register_tenant(TenantId tenant, TenantBudgets budgets) {
+  budgets_[tenant] = budgets;
+  apply(tenant);
+  return Status::ok();
+}
+
+Status TenantManager::deregister_tenant(TenantId tenant) {
+  auto it = budgets_.find(tenant);
+  if (it == budgets_.end()) {
+    return not_found("TenantManager: tenant not registered");
+  }
+  // Lift every cap before forgetting the contract.
+  push(tenant, TenantBudgets{});
+  host_->vswitch().clear_qos(tenant);
+  budgets_.erase(it);
+  return Status::ok();
+}
+
+const TenantBudgets* TenantManager::budgets(TenantId tenant) const {
+  auto it = budgets_.find(tenant);
+  return it == budgets_.end() ? nullptr : &it->second;
+}
+
+std::vector<TenantId> TenantManager::registered() const {
+  std::vector<TenantId> out;
+  out.reserve(budgets_.size());
+  for (const auto& [tenant, b] : budgets_) out.push_back(tenant);
+  return out;
+}
+
+void TenantManager::set_enforcement(bool on) {
+  if (enforce_ == on) return;
+  enforce_ = on;
+  for (const auto& [tenant, b] : budgets_) apply(tenant);
+}
+
+void TenantManager::apply(TenantId tenant) {
+  auto it = budgets_.find(tenant);
+  if (it == budgets_.end()) return;
+  push(tenant, enforce_ ? it->second : TenantBudgets{});
+}
+
+void TenantManager::apply_to_atc(Atc& atc) const {
+  for (const auto& [tenant, b] : budgets_) {
+    atc.set_share(tenant, enforce_ ? b.atc_share_entries : 0);
+  }
+}
+
+void TenantManager::push(TenantId tenant, const TenantBudgets& b) {
+  Iommu& iommu = host_->pcie().iommu();
+  iommu.set_iotlb_share(tenant, b.iotlb_share_entries);
+  for (std::size_t i = 0; i < host_->rnic_count(); ++i) {
+    host_->rnic(i).mtt().set_tenant_page_cap(tenant, b.mtt_page_cap);
+  }
+  for (std::size_t i = 0; i < host_->atc_count(); ++i) {
+    host_->atc(i).set_share(tenant, b.atc_share_entries);
+  }
+  if (host_->hypervisor().booted(tenant)) {
+    host_->hypervisor().pvdma(tenant).set_pin_budget(b.pin_budget_bytes);
+  }
+  if (b.qos.rate.bps() > 0 || b.qos.weight != 1 || b.qos.max_rules != 0 ||
+      b.qos.max_queue_packets != 0 || b.qos.burst_bytes != 0) {
+    host_->vswitch().set_qos(tenant, b.qos);
+  } else {
+    host_->vswitch().clear_qos(tenant);
+  }
+}
+
+Status TenantManager::gate(TenantId tenant, std::uint64_t used,
+                           std::uint64_t cap, const char* what) {
+  if (enforce_ && cap != 0 && used >= cap) {
+    ++sheds_[tenant];
+    return failed_precondition(std::string("TenantManager: ") + what +
+                               " budget exceeded for tenant " +
+                               std::to_string(tenant));
+  }
+  ++admits_[tenant];
+  return Status::ok();
+}
+
+Status TenantManager::admit_device(TenantId tenant) {
+  const TenantBudgets* b = budgets(tenant);
+  return gate(tenant, host_->device_count(tenant), b ? b->max_devices : 0,
+              "device");
+}
+
+Status TenantManager::admit_qp(TenantId tenant) {
+  const Usage u = usage(tenant);
+  const TenantBudgets* b = budgets(tenant);
+  return gate(tenant, u.qps, b ? b->max_qps : 0, "QP");
+}
+
+Status TenantManager::admit_mr(TenantId tenant) {
+  const Usage u = usage(tenant);
+  const TenantBudgets* b = budgets(tenant);
+  return gate(tenant, u.mrs, b ? b->max_mrs : 0, "MR");
+}
+
+TenantManager::Usage TenantManager::usage(TenantId tenant) const {
+  Usage u;
+  u.devices = host_->device_count(tenant);
+  for (std::size_t i = 0; i < host_->rnic_count(); ++i) {
+    const Rnic& rnic = host_->rnic(i);
+    u.qps += rnic.verbs().qp_count(tenant);
+    u.mrs += rnic.verbs().mr_count(tenant);
+    u.mtt_pages = std::max(u.mtt_pages, rnic.mtt().tenant_pages(tenant));
+  }
+  const Iommu& iommu = host_->pcie().iommu();
+  u.pinned_bytes = iommu.pinned_bytes(tenant);
+  u.iotlb_entries = iommu.iotlb_occupancy(tenant);
+  return u;
+}
+
+namespace {
+/// Utilization in percent against a cap; 0 when uncapped.
+std::uint64_t util_pct(std::uint64_t used, std::uint64_t cap) {
+  return cap == 0 ? 0 : used * 100 / cap;
+}
+}  // namespace
+
+DegradeLevel TenantManager::level(TenantId tenant) const {
+  const TenantBudgets* b = budgets(tenant);
+  if (!enforce_ || b == nullptr) return DegradeLevel::kGreen;
+  const Usage u = usage(tenant);
+  std::uint64_t worst = util_pct(u.devices, b->max_devices);
+  worst = std::max(worst, util_pct(u.qps, b->max_qps));
+  worst = std::max(worst, util_pct(u.mrs, b->max_mrs));
+  worst = std::max(worst, util_pct(u.pinned_bytes, b->pin_budget_bytes));
+  worst = std::max(worst, util_pct(u.mtt_pages, b->mtt_page_cap));
+  worst = std::max(worst, util_pct(u.iotlb_entries, b->iotlb_share_entries));
+  if (worst >= 100) return DegradeLevel::kShed;
+  if (worst >= 80) return DegradeLevel::kThrottled;
+  return DegradeLevel::kGreen;
+}
+
+std::uint64_t TenantManager::admitted(TenantId tenant) const {
+  auto it = admits_.find(tenant);
+  return it == admits_.end() ? 0 : it->second;
+}
+
+std::uint64_t TenantManager::shed(TenantId tenant) const {
+  auto it = sheds_.find(tenant);
+  return it == sheds_.end() ? 0 : it->second;
+}
+
+std::string TenantManager::to_json() const {
+  std::string out = "{\"enforcement\":";
+  out += enforce_ ? "1" : "0";
+  out += ",\"tenants\":[";
+  bool first = true;
+  for (const auto& [tenant, b] : budgets_) {
+    if (!first) out += ",";
+    first = false;
+    const Usage u = usage(tenant);
+    out += "{\"tenant\":" + std::to_string(tenant);
+    out += ",\"level\":\"" + std::string(to_string(level(tenant))) + "\"";
+    out += ",\"devices\":" + std::to_string(u.devices);
+    out += ",\"qps\":" + std::to_string(u.qps);
+    out += ",\"mrs\":" + std::to_string(u.mrs);
+    out += ",\"pinned_bytes\":" + std::to_string(u.pinned_bytes);
+    out += ",\"mtt_pages\":" + std::to_string(u.mtt_pages);
+    out += ",\"iotlb_entries\":" + std::to_string(u.iotlb_entries);
+    out += ",\"admitted\":" + std::to_string(admitted(tenant));
+    out += ",\"shed\":" + std::to_string(shed(tenant));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace stellar

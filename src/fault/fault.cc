@@ -18,6 +18,12 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kPinPressure: return "pin_pressure";
     case FaultKind::kBackendRestart: return "backend_restart";
     case FaultKind::kLiveMigrate: return "live_migrate";
+    case FaultKind::kQpChurn: return "qp_churn";
+    case FaultKind::kMrChurn: return "mr_churn";
+    case FaultKind::kIotlbThrash: return "iotlb_thrash";
+    case FaultKind::kPinFlood: return "pin_flood";
+    case FaultKind::kColdStartStampede: return "cold_start_stampede";
+    case FaultKind::kTenantKill: return "tenant_kill";
   }
   return "unknown";
 }
@@ -116,6 +122,37 @@ Status FaultInjector::validate(const FaultEvent& e) const {
       }
       if (!controls_[e.control].live_migrate) {
         return invalid_argument(tag + "target has no live_migrate hook");
+      }
+      break;
+    case FaultKind::kQpChurn:
+    case FaultKind::kMrChurn:
+    case FaultKind::kIotlbThrash:
+    case FaultKind::kPinFlood:
+    case FaultKind::kColdStartStampede: {
+      if (e.tenant >= tenants_.size()) {
+        return invalid_argument(tag + "tenant target index out of range");
+      }
+      if (e.intensity == 0) {
+        return invalid_argument(tag + "storm intensity must be >= 1");
+      }
+      const TenantTarget& t = tenants_[e.tenant];
+      const bool hooked =
+          (e.kind == FaultKind::kQpChurn && t.qp_churn) ||
+          (e.kind == FaultKind::kMrChurn && t.mr_churn) ||
+          (e.kind == FaultKind::kIotlbThrash && t.iotlb_thrash) ||
+          (e.kind == FaultKind::kPinFlood && t.pin_flood) ||
+          (e.kind == FaultKind::kColdStartStampede && t.cold_start);
+      if (!hooked) {
+        return invalid_argument(tag + "target has no hook for this storm");
+      }
+      break;
+    }
+    case FaultKind::kTenantKill:
+      if (e.tenant >= tenants_.size()) {
+        return invalid_argument(tag + "tenant target index out of range");
+      }
+      if (!tenants_[e.tenant].kill) {
+        return invalid_argument(tag + "target has no kill hook");
       }
       break;
   }
@@ -230,6 +267,39 @@ void FaultInjector::execute(const FaultEvent& e) {
       STELLAR_CHECK_OK(downtime.status(), "live migrate hook failed");
       sim_->schedule_after(downtime.value(),
                            [this, label = e.label] { note_cleared(label); });
+      break;
+    }
+
+    // Adversarial-tenant bursts run synchronously at the event time; the
+    // cleared mark lands as soon as the burst returns. Sustained storms are
+    // plans with many events, each its own fault/cleared pair.
+    case FaultKind::kQpChurn:
+    case FaultKind::kMrChurn:
+    case FaultKind::kIotlbThrash:
+    case FaultKind::kPinFlood:
+    case FaultKind::kColdStartStampede: {
+      const TenantTarget& t = tenants_[e.tenant];
+      note_fault(e);
+      Status burst = Status::ok();
+      switch (e.kind) {
+        case FaultKind::kQpChurn: burst = t.qp_churn(e.intensity); break;
+        case FaultKind::kMrChurn: burst = t.mr_churn(e.intensity); break;
+        case FaultKind::kIotlbThrash:
+          burst = t.iotlb_thrash(e.intensity);
+          break;
+        case FaultKind::kPinFlood: burst = t.pin_flood(e.intensity); break;
+        default: burst = t.cold_start(e.intensity); break;
+      }
+      STELLAR_CHECK_OK(burst, "tenant storm hook failed");
+      note_cleared(e.label);
+      break;
+    }
+
+    case FaultKind::kTenantKill: {
+      note_fault(e);
+      auto reclaimed = tenants_[e.tenant].kill();
+      STELLAR_CHECK_OK(reclaimed.status(), "tenant kill hook failed");
+      note_cleared(e.label);
       break;
     }
   }

@@ -10,7 +10,11 @@
 //     propagation latency on one link, restored afterwards);
 //   * RNIC device resets (all QPs to error, an ingress-black window);
 //   * control-path resource pressure (PVDMA pins fail with
-//     kResourceExhausted for a window; the hypervisor retry path backs off).
+//     kResourceExhausted for a window; the hypervisor retry path backs off);
+//   * adversarial-tenant storms (QP/MR churn, IOTLB-thrash scans, pin
+//     floods, cold-start stampedes) and a mid-attack tenant kill, executed
+//     through decoupled TenantTarget hooks so the isolation layer's
+//     throttle/shed defenses are what the storm actually hits.
 //
 // Plans are plain data, so tests and benches script scenarios declaratively
 // and replay them byte-for-byte: the same plan and seed produce identical
@@ -18,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +49,14 @@ enum class FaultKind : std::uint8_t {
   kPinPressure,     // PVDMA pin pressure window on one registered Pvdma
   kBackendRestart,  // vStellar backend hot-upgrade on one control target
   kLiveMigrate,     // live-migrate one control target's VM
+  // Adversarial-tenant storms, executed via TenantTarget hooks. `intensity`
+  // scales each burst; sustained attacks schedule repeated events.
+  kQpChurn,           // create+destroy QP cycles against one tenant's quota
+  kMrChurn,           // register+deregister MR cycles (MTT/quota pressure)
+  kIotlbThrash,       // wide scan of translations to thrash IOTLB/ATC shares
+  kPinFlood,          // PVDMA pin pressure against the host pin capacity
+  kColdStartStampede, // burst of container cold starts (RunD-style)
+  kTenantKill,        // kill the tenant mid-attack; all resources reclaimed
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -91,6 +104,12 @@ struct FaultEvent {
   std::uint32_t pvdma = 0;   // kPinPressure: index into registered Pvdmas
   /// kBackendRestart/kLiveMigrate: index into registered control targets.
   std::uint32_t control = 0;
+  /// Adversarial-tenant kinds: index into registered tenant targets.
+  std::uint32_t tenant = 0;
+  /// Burst size for the storm kinds — churn rounds (kQpChurn/kMrChurn),
+  /// pages scanned (kIotlbThrash), bytes pinned (kPinFlood), or containers
+  /// booted (kColdStartStampede). Ignored by kTenantKill.
+  std::uint64_t intensity = 1;
 };
 
 struct FaultPlan {
@@ -138,6 +157,34 @@ class FaultInjector {
     controls_.push_back(std::move(target));
   }
 
+  /// Target for the adversarial-tenant fault kinds. Like ControlTarget,
+  /// callbacks keep this library decoupled from the host layer that owns
+  /// verbs/MTT/PVDMA state. Each hook performs one burst of the attack
+  /// synchronously at the event's simulated time and returns ok when the
+  /// burst ran to completion — a quota shed or throttle hitting the attacker
+  /// is the DEFENSE WORKING, not an injector failure, so hooks must absorb
+  /// kFailedPrecondition/kResourceExhausted from the attacked layer and
+  /// count them on their own side. Only infrastructure breakage (a hook
+  /// precondition violated, an unexpected status) should surface as error.
+  ///  - qp_churn(rounds) / mr_churn(rounds): create+destroy cycles.
+  ///  - iotlb_thrash(pages): touch `pages` distinct translations.
+  ///  - pin_flood(bytes): demand-pin `bytes` of fresh guest memory.
+  ///  - cold_start(vms): boot `vms` extra containers back to back.
+  ///  - kill(): tear the tenant down mid-attack; returns bytes reclaimed.
+  struct TenantTarget {
+    TenantId tenant = kHostTenant;  // telemetry attribution only
+    std::function<Status(std::uint64_t rounds)> qp_churn;
+    std::function<Status(std::uint64_t rounds)> mr_churn;
+    std::function<Status(std::uint64_t pages)> iotlb_thrash;
+    std::function<Status(std::uint64_t bytes)> pin_flood;
+    std::function<Status(std::uint64_t vms)> cold_start;
+    std::function<StatusOr<std::uint64_t>()> kill;
+  };
+  void register_tenant_target(TenantTarget target) {
+    owner_.assert_held();
+    tenants_.push_back(std::move(target));
+  }
+
   /// Validate every event and schedule the whole plan. Events at equal
   /// timestamps execute in plan order (the simulator's FIFO tie-break).
   Status arm(const FaultPlan& plan);
@@ -167,6 +214,7 @@ class FaultInjector {
   std::vector<RdmaEngine*> engines_ STELLAR_GUARDED_BY(owner_);
   std::vector<Pvdma*> pvdmas_ STELLAR_GUARDED_BY(owner_);
   std::vector<ControlTarget> controls_ STELLAR_GUARDED_BY(owner_);
+  std::vector<TenantTarget> tenants_ STELLAR_GUARDED_BY(owner_);
   std::uint64_t executed_ STELLAR_GUARDED_BY(owner_) = 0;
 };
 

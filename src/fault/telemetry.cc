@@ -79,7 +79,21 @@ FaultTelemetry::Sample FaultTelemetry::snapshot() const {
       s.blacklisted_paths += conn->blacklisted_paths();
     }
   }
+  for (const Hypervisor* hv : hypervisors_) {
+    s.pin_retries += hv->pin_retries();
+  }
   return s;
+}
+
+std::map<VmId, std::uint64_t> FaultTelemetry::pin_retries_by_tenant() const {
+  owner_.assert_held();
+  std::map<VmId, std::uint64_t> out;
+  for (const Hypervisor* hv : hypervisors_) {
+    for (const auto& [vm, retries] : hv->pin_retries_by_vm()) {
+      out[vm] += retries;
+    }
+  }
+  return out;
 }
 
 void FaultTelemetry::on_fault(std::string label, std::string kind,
@@ -195,9 +209,21 @@ std::string FaultTelemetry::to_json() const {
            ", \"retransmits\": " + std::to_string(s.retransmits) +
            ", \"errored_qps\": " + std::to_string(s.errored_qps) +
            ", \"blacklisted_paths\": " + std::to_string(s.blacklisted_paths) +
-           "}";
+           ", \"pin_retries\": " + std::to_string(s.pin_retries) + "}";
   }
   out += samples_.empty() ? "],\n" : "\n  ],\n";
+
+  // Attacker-vs-victim retry attribution (std::map iteration is ordered, so
+  // this emitter is deterministic by construction).
+  const auto by_tenant = pin_retries_by_tenant();
+  out += "  \"pin_retries_by_tenant\": {";
+  bool first_tenant = true;
+  for (const auto& [vm, retries] : by_tenant) {
+    out += first_tenant ? "\n" : ",\n";
+    first_tenant = false;
+    out += "    \"" + std::to_string(vm) + "\": " + std::to_string(retries);
+  }
+  out += by_tenant.empty() ? "},\n" : "\n  },\n";
 
   const auto analysis = analyze();
   out += "  \"analysis\": [";

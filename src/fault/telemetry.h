@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "common/units.h"
 #include "rnic/transport.h"
 #include "sim/simulator.h"
+#include "virt/hypervisor.h"
 
 namespace stellar {
 
@@ -39,7 +41,8 @@ class FaultTelemetry {
     bool cleared = false;
   };
 
-  /// Cumulative transport counters across all watched engines.
+  /// Cumulative transport counters across all watched engines, plus pin
+  /// retries across all watched hypervisors.
   struct Sample {
     SimTime at;
     std::uint64_t goodput_bytes = 0;
@@ -47,6 +50,7 @@ class FaultTelemetry {
     std::uint64_t retransmits = 0;
     std::uint64_t errored_qps = 0;
     std::uint64_t blacklisted_paths = 0;
+    std::uint64_t pin_retries = 0;
   };
 
   struct EventAnalysis {
@@ -65,6 +69,18 @@ class FaultTelemetry {
     owner_.assert_held();
     engines_.push_back(engine);
   }
+
+  /// Hypervisors whose pin-retry counters feed the sampler and the
+  /// per-tenant retry attribution in to_json() — this is what separates an
+  /// attacker's own retry storm from collateral retries on victims.
+  void watch_hypervisor(const Hypervisor* hypervisor) {
+    owner_.assert_held();
+    hypervisors_.push_back(hypervisor);
+  }
+
+  /// Total pin retries per tenant across all watched hypervisors (ordered,
+  /// so emitters iterating it are deterministic).
+  std::map<VmId, std::uint64_t> pin_retries_by_tenant() const;
 
   /// Sample every `period` of simulated time. The recurring event re-arms
   /// only while the simulator has other pending work (the AuditRegistry
@@ -110,6 +126,7 @@ class FaultTelemetry {
   EventHandle pending_ STELLAR_GUARDED_BY(owner_);
   std::uint64_t seed_ STELLAR_GUARDED_BY(owner_) = 0;
   std::vector<const RdmaEngine*> engines_ STELLAR_GUARDED_BY(owner_);
+  std::vector<const Hypervisor*> hypervisors_ STELLAR_GUARDED_BY(owner_);
   std::vector<FaultRecord> faults_ STELLAR_GUARDED_BY(owner_);
   std::vector<Sample> samples_ STELLAR_GUARDED_BY(owner_);
 };

@@ -4,9 +4,20 @@
 // (b) a capacity-bounded IOTLB whose misses cost a page walk, and (c) the
 // pin-cost model that dominates RunD container start-up in the paper
 // (1.6 TB pinned in ~390 s => ~0.9 us per 4 KiB page).
+//
+// Multi-tenant isolation (docs/TENANCY.md): both shared resources the IOMMU
+// owns are attributable and budgetable per tenant —
+//   * the IOTLB: every entry carries the TenantId that installed it; a
+//     tenant with a configured share cap that is already at its cap evicts
+//     its *own* LRU entry instead of a neighbor's (so an IOTLB-thrash scan
+//     cannot flush other tenants' hot translations);
+//   * pinned bytes: note_pinned()/note_unpinned() take the responsible
+//     tenant, and a host-wide pin_capacity_bytes models the finite pin
+//     budget that a pin-pressure flood exhausts.
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "common/status.h"
 #include "common/units.h"
@@ -23,6 +34,9 @@ struct IommuConfig {
   // Pin model calibrated to the paper: 390 s / (1.6 TiB / 4 KiB pages).
   SimTime pin_per_page = SimTime::nanos(900);
   SimTime pin_call_overhead = SimTime::micros(10);
+  /// Host-wide ceiling on pinned bytes (0 = unlimited). Pinning beyond it
+  /// is transient pressure: it lifts when another tenant unpins.
+  std::uint64_t pin_capacity_bytes = 0;
 };
 
 class Iommu {
@@ -43,7 +57,7 @@ class Iommu {
   /// whole-IOTLB flush real drivers issue on teardown.
   Status unmap(IoVa iova) {
     const Status s = table_.unmap(iova);
-    iotlb_.clear();
+    clear_iotlb();
     if (!s.is_ok()) {
       return not_found("Iommu::unmap: no mapping starts at this IoVa");
     }
@@ -56,7 +70,7 @@ class Iommu {
   /// the window was already empty (a likely double-unpin).
   std::size_t unmap_range(IoVa iova, std::uint64_t len) {
     const std::size_t removed = table_.unmap_contained(iova, len);
-    iotlb_.clear();
+    clear_iotlb();
     return removed;
   }
 
@@ -73,18 +87,42 @@ class Iommu {
     bool iotlb_hit = false;
   };
 
-  StatusOr<Translation> translate(IoVa iova) {
+  /// Translate on behalf of `tenant`. The tenant tag only affects IOTLB
+  /// bookkeeping: the installed entry is attributed to the tenant, and if
+  /// the tenant has an IOTLB share cap and is at it, its own LRU entry is
+  /// evicted to make room (never a neighbor's).
+  StatusOr<Translation> translate(IoVa iova, TenantId tenant = kHostTenant) {
     const IoVa page = iova.align_down(kPage4K);
-    if (const Hpa* hit = iotlb_.get(page.value())) {
-      return Translation{*hit + iova.page_offset(kPage4K),
+    if (const IotlbEntry* hit = iotlb_.get(page.value())) {
+      return Translation{hit->hpa + iova.page_offset(kPage4K),
                          config_.iotlb_hit_latency, true};
     }
     auto hpa = table_.translate(iova);
     if (!hpa.is_ok()) return hpa.status();
     ++page_walks_;
-    iotlb_.put(page.value(), hpa.value().align_down(kPage4K));
+    install_iotlb(page.value(), hpa.value().align_down(kPage4K), tenant);
     return Translation{hpa.value(), config_.page_walk_latency, false};
   }
+
+  /// Cap one tenant's IOTLB residency at `max_entries` (0 = uncapped).
+  void set_iotlb_share(TenantId tenant, std::size_t max_entries) {
+    if (max_entries == 0) {
+      iotlb_share_.erase(tenant);
+    } else {
+      iotlb_share_[tenant] = max_entries;
+    }
+  }
+  /// Entries currently installed on behalf of `tenant`.
+  std::size_t iotlb_occupancy(TenantId tenant) const {
+    auto it = iotlb_occupancy_.find(tenant);
+    return it == iotlb_occupancy_.end() ? 0 : it->second;
+  }
+  const std::map<TenantId, std::size_t>& iotlb_occupancy_by_tenant() const {
+    return iotlb_occupancy_;
+  }
+  /// Evictions where an over-share tenant displaced its own entry.
+  std::uint64_t iotlb_self_evictions() const { return iotlb_self_evictions_; }
+  std::size_t iotlb_size() const { return iotlb_.size(); }
 
   // -- Pinning cost model ----------------------------------------------------
 
@@ -96,11 +134,33 @@ class Iommu {
            config_.pin_per_page * static_cast<std::int64_t>(pages);
   }
 
-  void note_pinned(std::uint64_t bytes) { pinned_bytes_ += bytes; }
-  void note_unpinned(std::uint64_t bytes) {
+  /// Would pinning `bytes` more stay within the host-wide pin capacity?
+  /// Always true when pin_capacity_bytes is 0 (unlimited).
+  bool pin_capacity_available(std::uint64_t bytes) const {
+    return config_.pin_capacity_bytes == 0 ||
+           pinned_bytes_ + bytes <= config_.pin_capacity_bytes;
+  }
+
+  void note_pinned(std::uint64_t bytes, TenantId tenant = kHostTenant) {
+    pinned_bytes_ += bytes;
+    pinned_by_tenant_[tenant] += bytes;
+  }
+  void note_unpinned(std::uint64_t bytes, TenantId tenant = kHostTenant) {
     pinned_bytes_ -= bytes < pinned_bytes_ ? bytes : pinned_bytes_;
+    auto it = pinned_by_tenant_.find(tenant);
+    if (it != pinned_by_tenant_.end()) {
+      it->second -= bytes < it->second ? bytes : it->second;
+      if (it->second == 0) pinned_by_tenant_.erase(it);
+    }
   }
   std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::uint64_t pinned_bytes(TenantId tenant) const {
+    auto it = pinned_by_tenant_.find(tenant);
+    return it == pinned_by_tenant_.end() ? 0 : it->second;
+  }
+  const std::map<TenantId, std::uint64_t>& pinned_by_tenant() const {
+    return pinned_by_tenant_;
+  }
 
   // -- Introspection ---------------------------------------------------------
 
@@ -113,11 +173,53 @@ class Iommu {
   const RangeMap<IoVa, Hpa>& table() const { return table_; }
 
  private:
+  struct IotlbEntry {
+    Hpa hpa;
+    TenantId tenant = kHostTenant;
+  };
+
+  void clear_iotlb() {
+    iotlb_.clear();
+    iotlb_occupancy_.clear();
+  }
+
+  void install_iotlb(std::uint64_t page, Hpa hpa, TenantId tenant) {
+    auto share = iotlb_share_.find(tenant);
+    if (share != iotlb_share_.end() &&
+        iotlb_occupancy(tenant) >= share->second) {
+      // Over-share tenants recycle their own coldest slot: the thrash stays
+      // contained to the tenant generating it.
+      auto victim = iotlb_.evict_lru_matching(
+          [tenant](std::uint64_t, const IotlbEntry& e) {
+            return e.tenant == tenant;
+          });
+      if (victim) {
+        ++iotlb_self_evictions_;
+        debit_occupancy(victim->second.tenant);
+      }
+    }
+    auto evicted = iotlb_.put(page, IotlbEntry{hpa, tenant});
+    if (evicted) debit_occupancy(evicted->second.tenant);
+    ++iotlb_occupancy_[tenant];
+  }
+
+  void debit_occupancy(TenantId tenant) {
+    auto it = iotlb_occupancy_.find(tenant);
+    if (it == iotlb_occupancy_.end()) return;
+    if (--it->second == 0) iotlb_occupancy_.erase(it);
+  }
+
+  friend struct IommuTestPeer;  // corruption injection in audit tests
+
   IommuConfig config_;
   RangeMap<IoVa, Hpa> table_;
-  LruCache<std::uint64_t, Hpa> iotlb_;
+  LruCache<std::uint64_t, IotlbEntry> iotlb_;
+  std::map<TenantId, std::size_t> iotlb_share_;
+  std::map<TenantId, std::size_t> iotlb_occupancy_;
+  std::uint64_t iotlb_self_evictions_ = 0;
   std::uint64_t page_walks_ = 0;
   std::uint64_t pinned_bytes_ = 0;
+  std::map<TenantId, std::uint64_t> pinned_by_tenant_;
 };
 
 }  // namespace stellar

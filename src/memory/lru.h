@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 namespace stellar {
 
@@ -32,22 +34,44 @@ class LruCache {
     return it == index_.end() ? nullptr : &it->second->second;
   }
 
-  /// Insert or refresh. Evicts LRU entry when at capacity.
-  void put(const Key& key, Value value) {
+  /// Insert or refresh. Evicts the LRU entry when at capacity; the victim
+  /// (if any) is returned so owners that keep side accounting — e.g. the
+  /// IOMMU's per-tenant IOTLB occupancy ledger — can debit the right party.
+  std::optional<std::pair<Key, Value>> put(const Key& key, Value value) {
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
-      return;
+      return std::nullopt;
     }
-    if (capacity_ == 0) return;
+    if (capacity_ == 0) return std::nullopt;
+    std::optional<std::pair<Key, Value>> victim;
     if (index_.size() >= capacity_) {
       ++evictions_;
-      index_.erase(order_.back().first);
+      victim = std::move(order_.back());
+      index_.erase(victim->first);
       order_.pop_back();
     }
     order_.emplace_front(key, std::move(value));
     index_[key] = order_.begin();
+    return victim;
+  }
+
+  /// Evict the least-recently-used entry satisfying `pred(key, value)` and
+  /// return it. Walks from the LRU end — O(n) worst case, but only invoked
+  /// on quota-enforcement paths (a tenant over its cache share evicts its
+  /// own coldest entry instead of a neighbor's).
+  template <typename Pred>
+  std::optional<std::pair<Key, Value>> evict_lru_matching(Pred pred) {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (!pred(it->first, it->second)) continue;
+      std::pair<Key, Value> victim = std::move(*it);
+      ++evictions_;
+      index_.erase(victim.first);
+      order_.erase(std::next(it).base());
+      return victim;
+    }
+    return std::nullopt;
   }
 
   bool erase(const Key& key) {

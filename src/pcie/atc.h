@@ -2,9 +2,15 @@
 // (PCIe ATS). Capacity is small — "tens of thousands of pages" per the
 // paper — which is what makes GDR throughput droop once the working set
 // outgrows it (Figure 8). Lives inside the requesting device (the RNIC).
+//
+// The ATC is shared by every tenant behind the RNIC, so a scan-patterned
+// tenant can thrash out neighbors' hot translations. Entries carry the
+// installing TenantId; tenants with a configured occupancy share that are
+// at their cap recycle their own coldest entry (docs/TENANCY.md).
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "common/status.h"
 #include "common/units.h"
@@ -28,17 +34,18 @@ class Atc {
   };
 
   /// Translate an IoVa using the cache, falling back to an ATS request.
-  StatusOr<Lookup> translate(IoVa iova) {
+  /// The tenant tag attributes the installed entry for share enforcement.
+  StatusOr<Lookup> translate(IoVa iova, TenantId tenant = kHostTenant) {
     const IoVa page = iova.align_down(kPage4K);
-    if (const Hpa* hit = cache_.get(page.value())) {
+    if (const Entry* hit = cache_.get(page.value())) {
       STELLAR_TRACE_ONLY(obs::count("atc/hits");)
-      return Lookup{*hit + iova.page_offset(kPage4K), SimTime::nanos(5), true,
-                    true};
+      return Lookup{hit->hpa + iova.page_offset(kPage4K), SimTime::nanos(5),
+                    true, true};
     }
     auto ats = fabric_->ats_translate(owner_, page);
     if (!ats.is_ok()) return ats.status();
     STELLAR_TRACE_ONLY(const std::uint64_t ev_before = cache_.evictions();)
-    cache_.put(page.value(), ats.value().hpa.align_down(kPage4K));
+    install(page.value(), ats.value().hpa.align_down(kPage4K), tenant);
     STELLAR_TRACE_ONLY(
         obs::count("atc/misses");
         obs::count("atc/evictions", cache_.evictions() - ev_before);
@@ -52,7 +59,27 @@ class Atc {
   }
 
   /// ATS invalidation from the RC (e.g. after an IOMMU unmap).
-  void invalidate_all() { cache_.clear(); }
+  void invalidate_all() {
+    cache_.clear();
+    occupancy_.clear();
+  }
+
+  /// Cap one tenant's ATC residency at `max_entries` (0 = uncapped).
+  void set_share(TenantId tenant, std::size_t max_entries) {
+    if (max_entries == 0) {
+      share_.erase(tenant);
+    } else {
+      share_[tenant] = max_entries;
+    }
+  }
+  std::size_t occupancy(TenantId tenant) const {
+    auto it = occupancy_.find(tenant);
+    return it == occupancy_.end() ? 0 : it->second;
+  }
+  const std::map<TenantId, std::size_t>& occupancy_by_tenant() const {
+    return occupancy_;
+  }
+  std::uint64_t self_evictions() const { return self_evictions_; }
 
   std::uint64_t hits() const { return cache_.hits(); }
   std::uint64_t misses() const { return cache_.misses(); }
@@ -61,9 +88,40 @@ class Atc {
   std::size_t size() const { return cache_.size(); }
 
  private:
+  struct Entry {
+    Hpa hpa;
+    TenantId tenant = kHostTenant;
+  };
+
+  void install(std::uint64_t page, Hpa hpa, TenantId tenant) {
+    auto share = share_.find(tenant);
+    if (share != share_.end() && occupancy(tenant) >= share->second) {
+      auto victim = cache_.evict_lru_matching(
+          [tenant](std::uint64_t, const Entry& e) {
+            return e.tenant == tenant;
+          });
+      if (victim) {
+        ++self_evictions_;
+        debit(victim->second.tenant);
+      }
+    }
+    auto evicted = cache_.put(page, Entry{hpa, tenant});
+    if (evicted) debit(evicted->second.tenant);
+    ++occupancy_[tenant];
+  }
+
+  void debit(TenantId tenant) {
+    auto it = occupancy_.find(tenant);
+    if (it == occupancy_.end()) return;
+    if (--it->second == 0) occupancy_.erase(it);
+  }
+
   HostPcie* fabric_;
   Bdf owner_;
-  LruCache<std::uint64_t, Hpa> cache_;
+  LruCache<std::uint64_t, Entry> cache_;
+  std::map<TenantId, std::size_t> share_;
+  std::map<TenantId, std::size_t> occupancy_;
+  std::uint64_t self_evictions_ = 0;
 };
 
 }  // namespace stellar

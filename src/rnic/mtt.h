@@ -8,13 +8,19 @@
 //
 // Capacity is counted in 4 KiB pages; the paper notes MTT capacity is
 // orders of magnitude larger than the PCIe ATC, which is why caching final
-// translations there eliminates the Figure-8 droop.
+// translations there eliminates the Figure-8 droop. The table is still a
+// shared per-RNIC resource: registrations carry the owning TenantId, and a
+// per-tenant page cap (docs/TENANCY.md) turns an MR-churn storm into a
+// kFailedPrecondition on the storming tenant instead of kResourceExhausted
+// collateral on everyone else.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/units.h"
 #include "memory/address.h"
 #include "memory/range_map.h"
 #include "obs/obs.h"
@@ -35,8 +41,13 @@ class Mtt {
   /// Install the translation for one MR covering [base, base+len).
   Status register_region(MrKey key, Gva base, std::uint64_t len,
                          std::uint64_t target, MemoryOwner owner,
-                         bool translated) {
+                         bool translated, TenantId tenant = kHostTenant) {
     const std::uint64_t pages = pages_covering(base, len, kPage4K);
+    auto cap = tenant_page_cap_.find(tenant);
+    if (cap != tenant_page_cap_.end() &&
+        tenant_pages(tenant) + pages > cap->second) {
+      return failed_precondition("Mtt: tenant page quota exceeded");
+    }
     if (used_pages_ + pages > capacity_pages_) {
       return resource_exhausted("Mtt: table full");
     }
@@ -50,7 +61,9 @@ class Mtt {
     it->second.owner = owner;
     it->second.translated = translated;
     it->second.pages = pages;
+    it->second.tenant = tenant;
     used_pages_ += pages;
+    tenant_pages_[tenant] += pages;
     return Status::ok();
   }
 
@@ -58,6 +71,11 @@ class Mtt {
     auto it = regions_.find(key);
     if (it == regions_.end()) return not_found("Mtt: unknown MR");
     used_pages_ -= it->second.pages;
+    auto tp = tenant_pages_.find(it->second.tenant);
+    if (tp != tenant_pages_.end()) {
+      tp->second -= it->second.pages;
+      if (tp->second == 0) tenant_pages_.erase(tp);
+    }
     regions_.erase(it);
     return Status::ok();
   }
@@ -81,6 +99,22 @@ class Mtt {
                     it->second.translated};
   }
 
+  /// Cap one tenant's resident MTT pages (0 = uncapped).
+  void set_tenant_page_cap(TenantId tenant, std::uint64_t max_pages) {
+    if (max_pages == 0) {
+      tenant_page_cap_.erase(tenant);
+    } else {
+      tenant_page_cap_[tenant] = max_pages;
+    }
+  }
+  std::uint64_t tenant_pages(TenantId tenant) const {
+    auto it = tenant_pages_.find(tenant);
+    return it == tenant_pages_.end() ? 0 : it->second;
+  }
+  const std::map<TenantId, std::uint64_t>& pages_by_tenant() const {
+    return tenant_pages_;
+  }
+
   std::uint64_t used_pages() const { return used_pages_; }
   std::uint64_t capacity_pages() const { return capacity_pages_; }
   std::size_t region_count() const { return regions_.size(); }
@@ -92,11 +126,14 @@ class Mtt {
     MemoryOwner owner = MemoryOwner::kHostDram;
     bool translated = false;
     std::uint64_t pages = 0;
+    TenantId tenant = kHostTenant;
   };
 
   std::uint64_t capacity_pages_;
   std::uint64_t used_pages_ = 0;
   std::unordered_map<MrKey, Region> regions_;
+  std::map<TenantId, std::uint64_t> tenant_pages_;
+  std::map<TenantId, std::uint64_t> tenant_page_cap_;
 };
 
 }  // namespace stellar

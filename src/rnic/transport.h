@@ -71,6 +71,9 @@ struct TransportConfig {
   /// because the silicon budget then caps the fan-out at ~4 paths; the
   /// ablation bench exercises exactly that trade.
   bool per_path_cc = false;
+  /// Owning tenant of every QP opened with this config — the attribution
+  /// key for per-tenant goodput/SLO tracking (docs/TENANCY.md).
+  TenantId tenant = kHostTenant;
 };
 
 class RdmaEngine;
@@ -101,6 +104,7 @@ class RdmaConnection {
   std::uint64_t id() const { return id_; }
   EndpointId local() const { return local_; }
   EndpointId remote() const { return remote_; }
+  TenantId tenant() const { return config_.tenant; }
 
   std::uint64_t inflight_bytes() const { return inflight_bytes_; }
   std::uint64_t completed_messages() const { return completed_messages_; }
@@ -355,6 +359,17 @@ class RdmaEngine {
   RdmaConnection* connection(std::uint64_t conn_id) const {
     auto it = by_id_.find(conn_id);
     return it == by_id_.end() ? nullptr : it->second;
+  }
+
+  /// Sender-side completed payload bytes summed per owning tenant — derived
+  /// on demand from the connections, so there is no extra counter to keep
+  /// coherent across snapshots. Ordered map: safe to feed emitters.
+  std::map<TenantId, std::uint64_t> completed_bytes_by_tenant() const {
+    std::map<TenantId, std::uint64_t> out;
+    for (const auto& conn : connections_) {
+      out[conn->tenant()] += conn->completed_bytes();
+    }
+    return out;
   }
 
   /// Checkpoint the engine's full guest-visible transport state (sender QPs

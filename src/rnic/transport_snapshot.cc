@@ -76,6 +76,7 @@ void write_config(SnapshotWriter& w, const TransportConfig& c) {
   w.b(c.blacklist_probe);
   w.time(c.probe_interval);
   w.b(c.per_path_cc);
+  w.u32(c.tenant);
 }
 
 TransportConfig read_config(SnapshotReader& r) {
@@ -95,6 +96,7 @@ TransportConfig read_config(SnapshotReader& r) {
   c.blacklist_probe = r.b();
   c.probe_interval = r.time();
   c.per_path_cc = r.b();
+  c.tenant = r.u32();
   return c;
 }
 

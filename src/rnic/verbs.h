@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -182,6 +183,41 @@ class VerbsResources {
   std::size_t pd_count() const { return pd_owner_.size(); }
   std::size_t mr_count() const { return mrs_.size(); }
   std::size_t qp_count() const { return qps_.size(); }
+
+  // -- Per-tenant attribution ---------------------------------------------------
+  // Every PD is owned by exactly one VM, so MR/QP ownership rolls up through
+  // the PD. Derived on demand into ordered maps (safe to feed emitters); the
+  // TenantIsolationAuditor cross-checks these sums against the totals above.
+
+  std::map<VmId, std::size_t> mr_count_by_vm() const {
+    std::map<VmId, std::size_t> out;
+    for (const auto& [key, mr] : mrs_) out[pd_owner_.at(mr.pd)] += 1;
+    return out;
+  }
+
+  std::map<VmId, std::size_t> qp_count_by_vm() const {
+    std::map<VmId, std::size_t> out;
+    for (const auto& [num, qp] : qps_) out[pd_owner_.at(qp.pd)] += 1;
+    return out;
+  }
+
+  std::size_t mr_count(VmId vm) const {
+    std::size_t n = 0;
+    for (const auto& [key, mr] : mrs_) {
+      auto it = pd_owner_.find(mr.pd);
+      if (it != pd_owner_.end() && it->second == vm) ++n;
+    }
+    return n;
+  }
+
+  std::size_t qp_count(VmId vm) const {
+    std::size_t n = 0;
+    for (const auto& [num, qp] : qps_) {
+      auto it = pd_owner_.find(qp.pd);
+      if (it != pd_owner_.end() && it->second == vm) ++n;
+    }
+    return n;
+  }
 
  private:
   PdId next_pd_ = 1;

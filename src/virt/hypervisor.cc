@@ -27,7 +27,11 @@ StatusOr<Hypervisor::BootReport> Hypervisor::boot_container(
     (void)pcie_->main_memory().release(backing.value());
     return s;
   }
-  vm->pvdma = std::make_unique<Pvdma>(pcie_->iommu(), vm->ept);
+  // The VM's backing base is globally unique in HPA space, so it doubles as
+  // a collision-free IoVa window base for this guest's pins.
+  vm->pvdma = std::make_unique<Pvdma>(pcie_->iommu(), vm->ept, PvdmaConfig{},
+                                      vm->backing_base.value());
+  vm->pvdma->set_tenant(container.id());
 
   BootReport report;
   const double gib =
@@ -41,13 +45,13 @@ StatusOr<Hypervisor::BootReport> Hypervisor::boot_container(
     // VFIO-era behaviour: every guest page is IOMMU-mapped and pinned up
     // front, because any of it may become an RDMA buffer or BAR target.
     report.pin_time = pcie_->iommu().pin_cost(container.memory_bytes());
-    Status pin = pcie_->iommu().map(IoVa{0}, vm->backing_base,
-                                    vm->backing_len);
+    Status pin = pcie_->iommu().map(IoVa{vm->backing_base.value()},
+                                    vm->backing_base, vm->backing_len);
     if (!pin.is_ok()) {
       (void)pcie_->main_memory().release(backing.value());
       return pin;
     }
-    pcie_->iommu().note_pinned(vm->backing_len);
+    pcie_->iommu().note_pinned(vm->backing_len, container.id());
   }
 
   report.total = report.hypervisor_time + report.pin_time;
@@ -60,9 +64,13 @@ Status Hypervisor::shutdown_container(RundContainer& container) {
   auto it = state_.find(container.id());
   if (it == state_.end()) return not_found("Hypervisor: container not booted");
   VmState& vm = *it->second;
-  if (!config_.use_pvdma) {
-    pcie_->iommu().unmap_range(IoVa{0}, vm.backing_len);
-    pcie_->iommu().note_unpinned(vm.backing_len);
+  if (config_.use_pvdma) {
+    // Reclaim every demand-pinned block, including raw prepare_dma pins no
+    // MR teardown covers — a dead tenant must not hold host pin capacity.
+    (void)vm.pvdma->release_all();
+  } else {
+    pcie_->iommu().unmap_range(IoVa{vm.backing_base.value()}, vm.backing_len);
+    pcie_->iommu().note_unpinned(vm.backing_len, container.id());
   }
   (void)pcie_->main_memory().release(vm.backing_base);
   state_.erase(it);
@@ -94,6 +102,7 @@ void Hypervisor::retry_pin(Simulator& sim, VmId vm, Gpa gpa,
     return;
   }
   ++pin_retries_;
+  ++pin_retries_by_vm_[vm];
   const SimTime next_backoff =
       std::min(backoff + backoff, config_.pin_retry.max_backoff);
   // Jitter the actual sleep so guests that hit the same pressure window
@@ -272,7 +281,9 @@ StatusOr<Hypervisor::BootReport> Hypervisor::restore_container(
   // host's device-register windows (re-created with the devices).
   vm->ept.restore_state(r, delta, old_base, old_len,
                         /*include_registers=*/false);
-  vm->pvdma = std::make_unique<Pvdma>(pcie_->iommu(), vm->ept);
+  vm->pvdma = std::make_unique<Pvdma>(pcie_->iommu(), vm->ept, PvdmaConfig{},
+                                      vm->backing_base.value());
+  vm->pvdma->set_tenant(container.id());
   Status restored = vm->pvdma->restore_state(r, /*adopt_pins=*/false);
   if (restored.is_ok()) {
     // Source shm doorbell windows point at the source host's MMIO: consume
@@ -296,13 +307,13 @@ StatusOr<Hypervisor::BootReport> Hypervisor::restore_container(
       gib * static_cast<double>(config_.per_gib_overhead.ps())));
   if (!config_.use_pvdma) {
     report.pin_time = pcie_->iommu().pin_cost(old_len);
-    Status pin =
-        pcie_->iommu().map(IoVa{0}, vm->backing_base, vm->backing_len);
+    Status pin = pcie_->iommu().map(IoVa{vm->backing_base.value()},
+                                    vm->backing_base, vm->backing_len);
     if (!pin.is_ok()) {
       (void)pcie_->main_memory().release(vm->backing_base);
       return pin;
     }
-    pcie_->iommu().note_pinned(vm->backing_len);
+    pcie_->iommu().note_pinned(vm->backing_len, container.id());
   }
   report.total = report.hypervisor_time + report.pin_time;
   state_.emplace(container.id(), std::move(vm));

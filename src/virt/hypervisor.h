@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -97,6 +98,15 @@ class Hypervisor {
                               std::uint64_t len, PinCallback done);
   /// Pin attempts that hit pressure and were re-scheduled.
   std::uint64_t pin_retries() const { return pin_retries_; }
+  /// Same, attributed to the requesting tenant — lets attack telemetry
+  /// separate the attacker's own retry storm from victim collateral.
+  std::uint64_t pin_retries(VmId vm) const {
+    auto it = pin_retries_by_vm_.find(vm);
+    return it == pin_retries_by_vm_.end() ? 0 : it->second;
+  }
+  const std::map<VmId, std::uint64_t>& pin_retries_by_vm() const {
+    return pin_retries_by_vm_;
+  }
 
   const HypervisorConfig& config() const { return config_; }
 
@@ -165,6 +175,7 @@ class Hypervisor {
   HypervisorConfig config_;
   std::unordered_map<VmId, std::unique_ptr<VmState>> state_;
   std::uint64_t pin_retries_ = 0;
+  std::map<VmId, std::uint64_t> pin_retries_by_vm_;
 };
 
 }  // namespace stellar

@@ -34,12 +34,24 @@ StatusOr<Pvdma::MapResult> Pvdma::prepare_dma(Gpa gpa, std::uint64_t len) {
     }
     STELLAR_TRACE_ONLY(obs::count("pvdma/map_cache_misses");)
     out.cache_hit = false;
+    if (pin_budget_bytes_ != 0 && pinned_bytes_ + bs > pin_budget_bytes_) {
+      ++budget_rejections_;
+      STELLAR_TRACE_ONLY(obs::count("pvdma/budget_rejections");)
+      return failed_precondition(
+          "Pvdma::prepare_dma: tenant pin budget exceeded");
+    }
+    if (!iommu_->pin_capacity_available(bs)) {
+      ++capacity_rejections_;
+      STELLAR_TRACE_ONLY(obs::count("pvdma/capacity_rejections");)
+      return resource_exhausted(
+          "Pvdma::prepare_dma: host pin capacity exhausted");
+    }
     Status s = register_block(block);
     if (!s.is_ok()) return s;
     cache_.insert(block);
     ++blocks_registered_;
     out.cost += iommu_->pin_cost(bs);
-    iommu_->note_pinned(bs);
+    iommu_->note_pinned(bs, tenant_);
     pinned_bytes_ += bs;
     out.pinned_bytes += bs;
     STELLAR_TRACE_ONLY(obs::count("pvdma/blocks_pinned");
@@ -77,7 +89,7 @@ void Pvdma::release_dma(Gpa gpa, std::uint64_t len) {
     if (cache_.release_user(block)) {
       unregister_block(block);
       cache_.erase(block);
-      iommu_->note_unpinned(bs);
+      iommu_->note_unpinned(bs, tenant_);
       pinned_bytes_ -= bs < pinned_bytes_ ? bs : pinned_bytes_;
       STELLAR_TRACE_ONLY(obs::count("pvdma/blocks_unpinned");
                          obs::gauge_add("pvdma/pinned_bytes",
@@ -86,6 +98,26 @@ void Pvdma::release_dma(Gpa gpa, std::uint64_t len) {
     // else: other users keep the block alive — including any stale device-
     // register sub-mappings it may contain (Figure 5d).
   }
+}
+
+std::uint64_t Pvdma::release_all() {
+  const std::uint64_t bs = config_.block_size;
+  std::vector<Gpa> blocks;
+  blocks.reserve(cache_.block_count());
+  cache_.for_each_block(
+      [&blocks](Gpa start, std::uint32_t) { blocks.push_back(start); });
+  std::uint64_t released = 0;
+  for (Gpa block : blocks) {
+    unregister_block(block);
+    cache_.erase(block);
+    iommu_->note_unpinned(bs, tenant_);
+    pinned_bytes_ -= bs < pinned_bytes_ ? bs : pinned_bytes_;
+    released += bs;
+  }
+  STELLAR_TRACE_ONLY(if (released > 0) {
+    obs::gauge_add("pvdma/pinned_bytes", -static_cast<std::int64_t>(released));
+  })
+  return released;
 }
 
 Status Pvdma::register_block(Gpa block_start) {
@@ -101,7 +133,8 @@ Status Pvdma::register_block(Gpa block_start) {
 
   auto flush_run = [&]() -> Status {
     if (run_len == 0) return Status::ok();
-    Status s = iommu_->map(IoVa{run_start_gpa}, Hpa{run_start_hpa}, run_len);
+    Status s = iommu_->map(IoVa{iova_base_ + run_start_gpa},
+                           Hpa{run_start_hpa}, run_len);
     run_len = 0;
     return s;
   };
@@ -129,7 +162,8 @@ Status Pvdma::register_block(Gpa block_start) {
 
 void Pvdma::unregister_block(Gpa block_start) {
   const std::size_t removed =
-      iommu_->unmap_range(IoVa{block_start.value()}, config_.block_size);
+      iommu_->unmap_range(IoVa{iova_base_ + block_start.value()},
+                          config_.block_size);
   if (removed == 0) {
     // The block was resident in the Map Cache yet carried no IOMMU ranges:
     // someone already tore the window down behind our back.
@@ -148,6 +182,10 @@ void Pvdma::save_state(SnapshotWriter& w) const {
   w.u64(double_unpins_);
   w.u64(pressured_rejections_);
   w.b(pressured_);
+  w.u64(budget_rejections_);
+  w.u64(capacity_rejections_);
+  w.u64(pin_budget_bytes_);
+  w.u32(tenant_);
 }
 
 Status Pvdma::restore_state(SnapshotReader& r, bool adopt_pins) {
@@ -170,12 +208,16 @@ Status Pvdma::restore_state(SnapshotReader& r, bool adopt_pins) {
   double_unpins_ = r.u64();
   pressured_rejections_ = r.u64();
   pressured_ = r.b();
+  budget_rejections_ = r.u64();
+  capacity_rejections_ = r.u64();
+  pin_budget_bytes_ = r.u64();
+  tenant_ = r.u32();
   return Status::ok();
 }
 
 Pvdma::DeviceAccess Pvdma::translate_for_device(Gpa gpa) {
   DeviceAccess out;
-  auto tr = iommu_->translate(IoVa{gpa.value()});
+  auto tr = iommu_->translate(IoVa{iova_base_ + gpa.value()}, tenant_);
   if (!tr.is_ok()) {
     out.kind = AccessKind::kFault;
     return out;

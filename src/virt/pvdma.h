@@ -33,9 +33,14 @@ struct PvdmaConfig {
 
 class Pvdma {
  public:
-  Pvdma(Iommu& iommu, Ept& ept, PvdmaConfig config = {})
+  /// `iova_base` namespaces this VM's IOMMU window: block GPA g maps at
+  /// IoVa{iova_base + g}, so two guests pinning the same GPA never collide
+  /// in the shared IOMMU. The hypervisor passes the VM's (globally unique)
+  /// backing base; 0 keeps the legacy single-VM identity mapping.
+  Pvdma(Iommu& iommu, Ept& ept, PvdmaConfig config = {},
+        std::uint64_t iova_base = 0)
       : iommu_(&iommu), ept_(&ept), config_(config),
-        cache_(config.block_size) {}
+        cache_(config.block_size), iova_base_(iova_base) {}
 
   struct MapResult {
     SimTime cost;          // map-cache lookup + (on miss) register + pin
@@ -45,8 +50,28 @@ class Pvdma {
 
   /// A guest device driver is about to DMA into [gpa, gpa+len): make sure
   /// every covering block is registered and pinned (Figure 4 stages 1-2).
-  /// Fails with kResourceExhausted while resource pressure is injected.
+  ///
+  /// Failure taxonomy (docs/TENANCY.md):
+  ///  * kFailedPrecondition — this tenant's own pin budget is exhausted.
+  ///    Non-retryable: backing off cannot help; the tenant must release.
+  ///  * kResourceExhausted — host-wide pin capacity (or injected pressure).
+  ///    Transient: lifts when any tenant unpins, so the hypervisor retry
+  ///    path backs off and retries.
   StatusOr<MapResult> prepare_dma(Gpa gpa, std::uint64_t len);
+
+  /// Attribute this VM's IOMMU usage (pins, IOTLB entries) to `tenant`.
+  void set_tenant(TenantId tenant) { tenant_ = tenant; }
+  TenantId tenant() const { return tenant_; }
+
+  /// Cap this tenant's pinned bytes (0 = unlimited). Exceeding it sheds
+  /// the request with kFailedPrecondition — loud, attributable, and with
+  /// zero collateral on other tenants.
+  void set_pin_budget(std::uint64_t bytes) { pin_budget_bytes_ = bytes; }
+  std::uint64_t pin_budget_bytes() const { return pin_budget_bytes_; }
+  /// prepare_dma() calls shed because this tenant was over its own budget.
+  std::uint64_t budget_rejections() const { return budget_rejections_; }
+  /// prepare_dma() calls rejected because host-wide pin capacity was full.
+  std::uint64_t capacity_rejections() const { return capacity_rejections_; }
 
   /// Control-path fault injection: while pressured, every prepare_dma()
   /// that would need to pin (or even look up) returns kResourceExhausted —
@@ -61,6 +86,13 @@ class Pvdma {
   /// user count drops to zero are unmapped and unpinned.
   void release_dma(Gpa gpa, std::uint64_t len);
 
+  /// Container-teardown reclaim: unmap and unpin every resident block
+  /// regardless of user count — the guest is gone, so no DMA consumer can
+  /// remain, and leaving raw demand-pins behind would leak host pin
+  /// capacity to a dead tenant (the kill-mid-flood path depends on this).
+  /// Returns the bytes unpinned.
+  std::uint64_t release_all();
+
   /// Device-side translation of a DMA request, as the IOMMU would perform
   /// it. Detects the Figure-5 failure mode.
   enum class AccessKind { kRam, kStaleDeviceMapping, kFault };
@@ -72,6 +104,8 @@ class Pvdma {
 
   const MapCache& map_cache() const { return cache_; }
   const PvdmaConfig& config() const { return config_; }
+  /// Base of this VM's IoVa window (see constructor).
+  std::uint64_t iova_base() const { return iova_base_; }
   std::uint64_t pinned_bytes() const { return pinned_bytes_; }
   std::uint64_t blocks_registered() const { return blocks_registered_; }
   std::uint64_t stale_accesses() const { return stale_accesses_; }
@@ -104,6 +138,11 @@ class Pvdma {
   Ept* ept_;
   PvdmaConfig config_;
   MapCache cache_;
+  std::uint64_t iova_base_ = 0;
+  TenantId tenant_ = kHostTenant;
+  std::uint64_t pin_budget_bytes_ = 0;
+  std::uint64_t budget_rejections_ = 0;
+  std::uint64_t capacity_rejections_ = 0;
   std::uint64_t pinned_bytes_ = 0;
   std::uint64_t blocks_registered_ = 0;
   std::uint64_t stale_accesses_ = 0;

@@ -160,7 +160,7 @@ TEST(IntegrationTest, InvariantAuditorsRunCleanAcrossTheStack) {
   ar_cfg.transport = cluster.config().transport;
   RingAllReduce ar(cluster.fleet(), ranks, ar_cfg);
 
-  // All five auditor kinds over the live objects (one transport auditor per
+  // All six auditor kinds over the live objects (one transport auditor per
   // engine). trap_on_finding stays ON: any violation aborts the test.
   AuditRegistry registry;
   registry.add(std::make_unique<FabricConservationAuditor>(cluster.fabric()));
@@ -168,11 +168,12 @@ TEST(IntegrationTest, InvariantAuditorsRunCleanAcrossTheStack) {
   registry.add(std::make_unique<PinAccountingAuditor>(
       hyp.pvdma(tenant.id()), host.pcie().iommu(), hyp.ept(tenant.id())));
   registry.add(std::make_unique<EmttCoherenceAuditor>(host));
+  registry.add(std::make_unique<TenantIsolationAuditor>(host));
   cluster.fleet().for_each_engine([&](RdmaEngine& engine) {
     registry.add(std::make_unique<TransportAuditor>(engine));
   });
   registry.add(std::make_unique<SimulatorAuditor>(cluster.simulator()));
-  EXPECT_EQ(registry.auditor_count(), 4 + ranks.size());
+  EXPECT_EQ(registry.auditor_count(), 5 + ranks.size());
 
   registry.attach_periodic(cluster.simulator(), SimTime::micros(50));
   bool done = false;

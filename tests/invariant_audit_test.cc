@@ -1,4 +1,4 @@
-// Invariant auditors: each of the five is proven to (a) report clean on a
+// Invariant auditors: each of the six is proven to (a) report clean on a
 // healthy system and (b) catch deliberately injected corruption. The
 // test peers below are the friend hooks the production classes declare for
 // exactly this purpose — no audit code path is exercised any other way.
@@ -24,6 +24,13 @@ struct SimulatorTestPeer {
 struct FabricTestPeer {
   static void skew_injected(ClosFabric& fabric, std::uint64_t delta) {
     fabric.injected_ += delta;
+  }
+};
+
+struct IommuTestPeer {
+  static void skew_tenant_pins(Iommu& iommu, TenantId tenant,
+                               std::uint64_t delta) {
+    iommu.pinned_by_tenant_[tenant] += delta;  // global counter untouched
   }
 };
 
@@ -277,6 +284,38 @@ TEST_F(EmttCoherenceTest, DetectsUnpinUnderLiveMr) {
   host_->hypervisor().pvdma(tenant_->id()).release_dma(buf_gpa_, 8_MiB);
   AuditReport report = registry_.run_all();
   EXPECT_TRUE(has_finding_from(report, "emtt-coherence")) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Tenant isolation: per-tenant ledgers sum to the global counters.
+// ---------------------------------------------------------------------------
+
+TEST(TenantIsolationAuditorTest, CleanOnHealthyHostCorruptFlagged) {
+  StellarHost host;
+  RundContainer guest(1, "t1", 64_MiB);
+  ASSERT_TRUE(host.boot(guest).is_ok());
+  auto dev = host.create_vstellar_device(guest, 0);
+  ASSERT_TRUE(dev.is_ok());
+  ASSERT_TRUE(dev.value()
+                  ->register_memory(Gva{0x1000}, 4_MiB,
+                                    MemoryOwner::kHostDram, 0)
+                  .is_ok());
+
+  AuditRegistry registry;
+  registry.add(std::make_unique<TenantIsolationAuditor>(host));
+  registry.set_trap_on_finding(false);
+
+  AuditReport healthy = registry.run_all();
+  EXPECT_TRUE(healthy.clean()) << healthy.to_string();
+  EXPECT_GT(healthy.checks_performed(), 0u);
+
+  // Phantom per-tenant attribution: the sum no longer matches the global
+  // pin counter — exactly the leak that makes neighbor damage
+  // unattributable.
+  IommuTestPeer::skew_tenant_pins(host.pcie().iommu(), 7, 4096);
+  AuditReport corrupt = registry.run_all();
+  EXPECT_TRUE(has_finding_from(corrupt, "tenant-isolation"))
+      << corrupt.to_string();
 }
 
 // ---------------------------------------------------------------------------

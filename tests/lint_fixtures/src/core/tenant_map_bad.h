@@ -1,0 +1,56 @@
+// Fixture: per-tenant accounting maps feeding emitters. TenantManager-style
+// state is keyed by TenantId in unordered maps; anything that serializes or
+// audits them (BENCH_tenants.json rows, auditor findings) must walk the keys
+// in sorted order or the output ceases to be byte-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/ordered.h"
+
+namespace stellar {
+
+class TenantLedger {
+ public:
+  // Emitter context: bench JSON rows must be byte-identical across runs.
+  std::string to_json() const {
+    std::string out;
+    for (const auto& [tenant, pinned] : pinned_by_tenant_) {  // expect: unordered-iter
+      out += std::to_string(tenant) + ":" + std::to_string(pinned) + ",";
+    }
+    return out;
+  }
+
+  // Auditor context: findings must surface in a deterministic order.
+  std::string audit_usage() const {
+    std::string findings;
+    for (const auto& [tenant, sheds] : sheds_by_tenant_) {  // expect: unordered-iter
+      if (sheds > 0) findings += "tenant " + std::to_string(tenant) + " shed;";
+    }
+    return findings;
+  }
+
+  // Clean: the sanctioned idiom — sorted_keys() from common/ordered.h.
+  std::string snapshot() const {
+    std::string out;
+    for (std::uint32_t tenant : sorted_keys(pinned_by_tenant_)) {
+      out += std::to_string(pinned_by_tenant_.at(tenant)) + ",";
+    }
+    return out;
+  }
+
+  // Clean: order-insensitive reduction outside any emitter.
+  std::uint64_t total_pinned() const {
+    std::uint64_t sum = 0;
+    for (const auto& [tenant, pinned] : pinned_by_tenant_) sum += pinned;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> pinned_by_tenant_;
+  std::unordered_map<std::uint32_t, std::uint64_t> sheds_by_tenant_;
+};
+
+}  // namespace stellar

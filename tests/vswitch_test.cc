@@ -1,0 +1,161 @@
+// Direct unit tests for the vSwitch per-tenant QoS layer: rule-slot quotas,
+// the token-bucket rate limiter, the WDRR egress scheduler, and backlog
+// caps (docs/TENANCY.md). Labelled `tenant` — ctest -L tenant.
+#include "rnic/vswitch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stellar {
+namespace {
+
+SteeringRule rule(std::uint64_t id, TrafficClass cls, TenantId tenant) {
+  SteeringRule r;
+  r.id = id;
+  r.match = cls;
+  r.tenant = tenant;
+  return r;
+}
+
+TEST(VSwitchQos, RuleQuotaShedsTenantWithoutCollateral) {
+  VSwitch vs;
+  TenantQos qos;
+  qos.max_rules = 2;
+  vs.set_qos(7, qos);
+
+  EXPECT_TRUE(vs.add_rule(rule(1, TrafficClass::kTcp, 7)).is_ok());
+  EXPECT_TRUE(vs.add_rule(rule(2, TrafficClass::kTcp, 7)).is_ok());
+  auto third = vs.add_rule(rule(3, TrafficClass::kTcp, 7));
+  EXPECT_EQ(third.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(vs.rule_count(7), 2u);
+
+  // A neighbor without a quota is untouched by the shed.
+  EXPECT_TRUE(vs.add_rule(rule(4, TrafficClass::kRdma, 8)).is_ok());
+
+  // Removing one of the tenant's rules frees a slot under the quota again.
+  EXPECT_TRUE(vs.remove_rule(1).is_ok());
+  EXPECT_TRUE(vs.add_rule(rule(5, TrafficClass::kTcp, 7)).is_ok());
+}
+
+TEST(VSwitchQos, GlobalCapacityIsResourceExhausted) {
+  VSwitch::Config cfg;
+  cfg.capacity = 4;
+  VSwitch vs(cfg);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(vs.add_rule(rule(i, TrafficClass::kTcp, 1)).is_ok());
+  }
+  EXPECT_EQ(vs.add_rule(rule(9, TrafficClass::kTcp, 2)).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(VSwitchQos, LookupLatencyIsPositional) {
+  VSwitch vs;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(vs.add_rule(rule(i, TrafficClass::kTcp, 1)).is_ok());
+  }
+  ASSERT_TRUE(vs.add_rule(rule(99, TrafficClass::kRdma, 2)).is_ok());
+  auto hit = vs.lookup(TrafficClass::kRdma, 2);
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_EQ(hit.value().rules_walked, 11u);
+
+  // Dropping the ten TCP rules ahead of it shortens the walk to one entry.
+  EXPECT_EQ(vs.remove_tenant_rules(1), 10u);
+  hit = vs.lookup(TrafficClass::kRdma, 2);
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_EQ(hit.value().rules_walked, 1u);
+}
+
+TEST(VSwitchQos, TokenBucketDelaysOnlyTheOverRateSender) {
+  VSwitch vs;
+  ASSERT_TRUE(vs.add_rule(rule(1, TrafficClass::kRdma, 7)).is_ok());
+  ASSERT_TRUE(vs.add_rule(rule(2, TrafficClass::kRdma, 8)).is_ok());
+  TenantQos qos;
+  qos.rate = Bandwidth::gbps(8);  // 1 GiB/s-ish: 1 KiB refills in ~1 us
+  qos.burst_bytes = 4096;
+  vs.set_qos(7, qos);
+
+  const SimTime t0 = SimTime::zero();
+  // The burst passes untouched.
+  auto f = vs.forward(TrafficClass::kRdma, 7, 4096, t0);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_FALSE(f.value().throttled);
+
+  // The very next packet finds an empty bucket and is delayed, not failed.
+  f = vs.forward(TrafficClass::kRdma, 7, 4096, t0);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_TRUE(f.value().throttled);
+  EXPECT_GT(f.value().throttle_delay, SimTime::zero());
+  EXPECT_EQ(vs.throttles(7), 1u);
+
+  // The neighbor at the same instant is never throttled.
+  f = vs.forward(TrafficClass::kRdma, 8, 4096, t0);
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_FALSE(f.value().throttled);
+  EXPECT_EQ(vs.throttles(8), 0u);
+}
+
+TEST(VSwitchQos, TokenBucketRefillsAfterIdle) {
+  VSwitch vs;
+  ASSERT_TRUE(vs.add_rule(rule(1, TrafficClass::kRdma, 7)).is_ok());
+  TenantQos qos;
+  qos.rate = Bandwidth::gbps(8);
+  qos.burst_bytes = 4096;
+  vs.set_qos(7, qos);
+
+  ASSERT_TRUE(vs.forward(TrafficClass::kRdma, 7, 4096, SimTime::zero())
+                  .is_ok());  // drains the burst
+  // 8 Gbps refills 4096 bytes in ~4.1 us; after 10 us the bucket is full.
+  auto f = vs.forward(TrafficClass::kRdma, 7, 4096, SimTime::micros(10));
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_FALSE(f.value().throttled);
+}
+
+TEST(VSwitchQos, WdrrServesProportionallyToWeight) {
+  VSwitch::Config cfg;
+  cfg.wdrr_quantum_bytes = 4096;
+  VSwitch vs(cfg);
+  TenantQos heavy;
+  heavy.weight = 3;
+  vs.set_qos(2, heavy);  // tenant 1 keeps the default weight 1
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(vs.enqueue(1, 4096, i).is_ok());
+    ASSERT_TRUE(vs.enqueue(2, 4096, 100 + i).is_ok());
+  }
+  // One full round: tenant 1 earns one quantum (1 packet), tenant 2 three.
+  std::vector<TenantId> order;
+  for (int i = 0; i < 8; ++i) {
+    auto pkt = vs.dequeue();
+    ASSERT_TRUE(pkt.has_value());
+    order.push_back(pkt->tenant);
+  }
+  EXPECT_EQ(order, (std::vector<TenantId>{1, 2, 2, 2, 1, 2, 2, 2}));
+
+  // Everything drains eventually regardless of weight.
+  while (vs.dequeue().has_value()) {
+  }
+  EXPECT_EQ(vs.queued_packets(), 0u);
+  EXPECT_EQ(vs.dequeues(1), 8u);
+  EXPECT_EQ(vs.dequeues(2), 8u);
+}
+
+TEST(VSwitchQos, BacklogCapShedsTheFloodersQueueOnly) {
+  VSwitch vs;
+  TenantQos qos;
+  qos.max_queue_packets = 4;
+  vs.set_qos(7, qos);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(vs.enqueue(7, 1024, i).is_ok());
+  }
+  EXPECT_EQ(vs.enqueue(7, 1024, 99).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(vs.sheds(7), 1u);
+  // The neighbor still enqueues freely.
+  EXPECT_TRUE(vs.enqueue(8, 1024, 0).is_ok());
+  EXPECT_EQ(vs.queue_depth(7), 4u);
+  EXPECT_EQ(vs.queue_depth(8), 1u);
+}
+
+}  // namespace
+}  // namespace stellar

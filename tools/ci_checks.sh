@@ -12,10 +12,14 @@
 #      explicit chaos-soak smoke (fixed seed, audits ON) and a migration
 #      bench smoke run twice to prove BENCH_migration.json is
 #      byte-deterministic
+#   6b. the tenant-labelled multi-tenant isolation tests (vSwitch QoS,
+#      budget admission, kill_tenant reclaim) on their own, plus the
+#      adversarial-tenant bench run twice to prove BENCH_tenants.json is
+#      byte-deterministic
 #   7. a fig09 mini trace dump + trace_summarize smoke (the tracer's
 #      byte-determinism and the summarizer's parser, end to end)
-#   8. ASan+UBSan build + the complete test suite + the fault, sim, obs
-#      and migrate suites
+#   8. ASan+UBSan build + the complete test suite + the fault, sim, obs,
+#      migrate and tenant suites
 #   9. TSan build (-DSTELLAR_SANITIZE=thread) + the threaded shard-safety
 #      smoke, with a negative control: a deliberately racy demo binary must
 #      FAIL under TSan, proving the wiring detects real races
@@ -87,6 +91,19 @@ ctest --test-dir build --output-on-failure -L obs
 step "control-plane robustness suite (ctest -L migrate)"
 ctest --test-dir build --output-on-failure -L migrate
 
+step "multi-tenant isolation suite (ctest -L tenant)"
+ctest --test-dir build --output-on-failure -L tenant
+
+step "tenant bench smoke (gates + BENCH_tenants.json byte-determinism)"
+ten_smoke_dir="$(mktemp -d)"
+(cd "$ten_smoke_dir" &&
+  mkdir run1 run2 &&
+  (cd run1 && "$repo_root/build/bench/fig_tenants" > fig_tenants.log) &&
+  (cd run2 && "$repo_root/build/bench/fig_tenants" > fig_tenants.log) &&
+  cmp run1/BENCH_tenants.json run2/BENCH_tenants.json &&
+  head -n 3 run1/BENCH_tenants.json)
+rm -rf "$ten_smoke_dir"
+
 step "chaos-soak smoke (fixed seed 0xC0FFEE, >=100 events, audits ON)"
 build/tests/stellar_migrate_tests \
   --gtest_filter='ChaosSoakTest.SurvivesHundredEventPlanWithAuditsOn'
@@ -125,6 +142,8 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -L obs
   step "control-plane robustness suite under sanitizers (ctest -L migrate)"
   ctest --test-dir build-san --output-on-failure -L migrate
+  step "multi-tenant isolation suite under sanitizers (ctest -L tenant)"
+  ctest --test-dir build-san --output-on-failure -L tenant
 else
   step "sanitizer pass skipped (--skip-san)"
 fi
