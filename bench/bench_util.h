@@ -4,16 +4,36 @@
 // the tables.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/parallel.h"
 #include "sim/simulator.h"
 
 namespace stellar::bench {
+
+/// --threads=N flag shared by every simulator-driving bench: the worker
+/// count for run-level sharding (core/run_shard.h) or the parallel engine
+/// (sim/parallel.h). 1 (the default) is the single-threaded reference
+/// path; any N must produce byte-identical BENCH JSON and traces
+/// (tools/ci_checks.sh diffs fig09-mini at 1 vs 4).
+inline std::uint32_t threads_arg(int argc, char** argv,
+                                 std::uint32_t def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int v = std::atoi(argv[i] + 10);
+      if (v >= 1) return static_cast<std::uint32_t>(v);
+    }
+  }
+  return def;
+}
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
@@ -42,15 +62,48 @@ inline std::string fmt(double v, int decimals = 2) {
 
 class EngineMeter {
  public:
+  /// Per-shard attribution slots: RunSet workers land on their worker id,
+  /// ShardedEngine shards on their shard id; slot 0 doubles as "no shard"
+  /// for plain single-threaded runs.
+  static constexpr std::size_t kMaxSlots = 64;
+
   EngineMeter() : start_(std::chrono::steady_clock::now()) {}
 
   /// Fold one finished Simulator's executed-event count into the total.
+  /// Thread-safe: RunSet worker jobs call this concurrently, and the
+  /// events are attributed to the calling worker's shard slot.
   void add(const Simulator& sim) {
-    events_ += sim.executed_events();
-    ++runs_;
+    const int w = RunSet::current_worker();
+    add_shard(w > 0 ? static_cast<std::uint32_t>(w) : 0,
+              sim.executed_events());
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    if (w > 0) sharded_.store(true, std::memory_order_relaxed);
   }
 
-  std::uint64_t events() const { return events_; }
+  /// Fold a ShardedEngine run with per-shard attribution.
+  void add(const ShardedEngine& engine) {
+    for (std::uint32_t s = 0; s < engine.shards(); ++s) {
+      add_shard(s, engine.shard_executed(s));
+    }
+    runs_.fetch_add(1, std::memory_order_relaxed);
+    if (engine.shards() > 1) sharded_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Attribute `events` executed events to `shard`.
+  void add_shard(std::uint32_t shard, std::uint64_t events) {
+    events_.fetch_add(events, std::memory_order_relaxed);
+    shard_events_[shard < kMaxSlots ? shard : kMaxSlots - 1].fetch_add(
+        events, std::memory_order_relaxed);
+  }
+
+  std::uint64_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shard_events(std::uint32_t shard) const {
+    return shard < kMaxSlots
+               ? shard_events_[shard].load(std::memory_order_relaxed)
+               : 0;
+  }
   double wall_seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
@@ -58,22 +111,37 @@ class EngineMeter {
   }
   double events_per_sec() const {
     const double w = wall_seconds();
-    return w > 0.0 ? static_cast<double>(events_) / w : 0.0;
+    return w > 0.0 ? static_cast<double>(events()) / w : 0.0;
   }
 
+  /// Aggregate "[engine]" line, plus per-shard events/s lines whenever
+  /// more than one shard/worker contributed.
   void report() const {
+    const double wall = wall_seconds();
     std::printf(
         "\n[engine] %llu simulator runs, %llu events, %.2f s wall, "
-        "%.2f M events/s\n",
-        static_cast<unsigned long long>(runs_),
-        static_cast<unsigned long long>(events_), wall_seconds(),
+        "%.2f M events/s aggregate\n",
+        static_cast<unsigned long long>(
+            runs_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(events()), wall,
         events_per_sec() / 1e6);
+    if (!sharded_.load(std::memory_order_relaxed)) return;
+    for (std::size_t s = 0; s < kMaxSlots; ++s) {
+      const std::uint64_t ev =
+          shard_events_[s].load(std::memory_order_relaxed);
+      if (ev == 0) continue;
+      std::printf("[engine]   shard %2zu: %llu events, %.2f M events/s\n", s,
+                  static_cast<unsigned long long>(ev),
+                  wall > 0.0 ? static_cast<double>(ev) / wall / 1e6 : 0.0);
+    }
   }
 
  private:
   std::chrono::steady_clock::time_point start_;
-  std::uint64_t events_ = 0;
-  std::uint64_t runs_ = 0;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<bool> sharded_{false};
+  std::atomic<std::uint64_t> shard_events_[kMaxSlots] = {};
 };
 
 /// Process-wide meter: benches call this once at the top of main() (to start

@@ -10,11 +10,13 @@
 // 128 paths every spraying algorithm collapses the average and maximum
 // queue depth (~90% reduction vs single path).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/obs_util.h"
 #include "collective/traffic.h"
 #include "common/stats.h"
+#include "core/run_shard.h"
 
 using namespace stellar;
 using namespace stellar::bench;
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
   engine_meter();  // start the engine wall clock
   ObsScope obs_scope(argc, argv, "fig09");
   const double scale = scale_arg(argc, argv);
+  const std::uint32_t threads = threads_arg(argc, argv);
   print_header(
       "Figure 9 - ToR uplink queue depth, permutation traffic (32 flows,\n"
       "2 segments, 16 aggs/plane; paper uses 30 servers / 120 flows)\n"
@@ -102,16 +105,49 @@ int main(int argc, char** argv) {
       MultipathAlgo::kSinglePath, MultipathAlgo::kBestRtt,
       MultipathAlgo::kRoundRobin, MultipathAlgo::kDwrr,
       MultipathAlgo::kMprdmaLike, MultipathAlgo::kObs};
+  const std::uint16_t path_counts[] = {4, 128};
 
-  for (std::uint16_t paths : {4, 128}) {
+  // The 12 (algorithm x path-count) runs are independent, so they shard
+  // across --threads=N workers (core/run_shard.h). Results land in
+  // index-addressed slots and all printing/JSON emission happens after the
+  // merge, in index order — byte-identical output for every thread count.
+  struct RunSpec {
+    MultipathAlgo algo;
+    std::uint16_t paths;
+  };
+  std::vector<RunSpec> specs;
+  for (std::uint16_t paths : path_counts) {
+    for (MultipathAlgo algo : algos) specs.push_back({algo, paths});
+  }
+  std::vector<QueueStats> results(specs.size());
+
+  ShardedRunSet runs(threads, specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec spec = specs[i];
+    QueueStats* slot = &results[i];
+    runs.add([spec, slot, scale] {
+      *slot = run_permutation(spec.algo, spec.paths, scale);
+    });
+  }
+  runs.execute();
+
+  JsonResult json("fig09");
+  std::size_t i = 0;
+  for (std::uint16_t paths : path_counts) {
     std::printf("\n--- %u paths per connection ---\n", paths);
     print_row({"algorithm", "mean KiB", "max KiB", "goodput Gbps"});
     for (MultipathAlgo algo : algos) {
-      const QueueStats s = run_permutation(algo, paths, scale);
+      const QueueStats& s = results[i++];
       print_row({multipath_algo_name(algo), fmt(s.mean_kib, 1),
                  fmt(s.max_kib, 1), fmt(s.goodput_gbps, 1)});
+      json.add_row({{"algo", jstr(multipath_algo_name(algo))},
+                    {"paths", jint(paths)},
+                    {"mean_queue_kib", jnum(s.mean_kib)},
+                    {"max_queue_kib", jnum(s.max_kib)},
+                    {"goodput_gbps", jnum(s.goodput_gbps)}});
     }
   }
+  json.write();
   engine_meter().report();
   return 0;
 }

@@ -5,6 +5,7 @@
 // across two segments). (a) with 128 paths, RR/OBS saturate the NIC while
 // BestRTT/DWRR concentrate on few paths and congest. (b) 128 paths
 // mitigates bursts; OBS slightly more resilient than RR.
+#include <cstddef>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "bench/obs_util.h"
 #include "collective/allreduce.h"
 #include "collective/traffic.h"
+#include "core/run_shard.h"
 
 using namespace stellar;
 using namespace stellar::bench;
@@ -143,10 +145,41 @@ int main(int argc, char** argv) {
       MultipathAlgo::kSinglePath, MultipathAlgo::kBestRtt,
       MultipathAlgo::kDwrr, MultipathAlgo::kRoundRobin,
       MultipathAlgo::kMprdmaLike, MultipathAlgo::kObs};
-  for (MultipathAlgo algo : algos) {
-    print_row({multipath_algo_name(algo),
-               fmt(static_background_bw(algo, 4), 1),
-               fmt(static_background_bw(algo, 128), 1)});
+  const MultipathAlgo bursty_algos[] = {MultipathAlgo::kRoundRobin,
+                                        MultipathAlgo::kObs};
+
+  // All 16 (scenario, algo, paths) runs are independent, so they shard
+  // across --threads=N workers (core/run_shard.h); both tables print
+  // after the merge, in sweep order — byte-identical for any thread count.
+  const std::uint32_t threads = threads_arg(argc, argv);
+  double static_bw[6][2];
+  double bursty_bw[2][2];
+  ShardedRunSet runs(threads, 2 * 6 + 2 * 2);
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      const MultipathAlgo algo = algos[a];
+      const std::uint16_t paths = p == 0 ? 4 : 128;
+      double* slot = &static_bw[a][p];
+      runs.add([algo, paths, slot] {
+        *slot = static_background_bw(algo, paths);
+      });
+    }
+  }
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      const MultipathAlgo algo = bursty_algos[a];
+      const std::uint16_t paths = p == 0 ? 4 : 128;
+      double* slot = &bursty_bw[a][p];
+      runs.add([algo, paths, slot] {
+        *slot = bursty_background_bw(algo, paths);
+      });
+    }
+  }
+  runs.execute();
+
+  for (std::size_t a = 0; a < 6; ++a) {
+    print_row({multipath_algo_name(algos[a]), fmt(static_bw[a][0], 1),
+               fmt(static_bw[a][1], 1)});
   }
 
   print_header(
@@ -154,11 +187,9 @@ int main(int argc, char** argv) {
       "background (2ms on / 2ms off; paper 5s/5s)\n"
       "paper: 128 paths mitigates bursts; OBS more resilient than RR");
   print_row({"algorithm", "4 paths", "128 paths"});
-  for (MultipathAlgo algo :
-       {MultipathAlgo::kRoundRobin, MultipathAlgo::kObs}) {
-    print_row({multipath_algo_name(algo),
-               fmt(bursty_background_bw(algo, 4), 1),
-               fmt(bursty_background_bw(algo, 128), 1)});
+  for (std::size_t a = 0; a < 2; ++a) {
+    print_row({multipath_algo_name(bursty_algos[a]), fmt(bursty_bw[a][0], 1),
+               fmt(bursty_bw[a][1], 1)});
   }
   engine_meter().report();
   return 0;

@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/obs_util.h"
 #include "collective/allreduce.h"
+#include "core/run_shard.h"
 
 using namespace stellar;
 using namespace stellar::bench;
@@ -80,14 +82,43 @@ int main(int argc, char** argv) {
   const MultipathAlgo algos[] = {MultipathAlgo::kSinglePath,
                                  MultipathAlgo::kRoundRobin,
                                  MultipathAlgo::kObs};
+  // The 18 (paths, algo, loss) sweep points are independent, so they shard
+  // across --threads=N workers (core/run_shard.h); table + JSON emission
+  // happen after the merge, in sweep order — byte-identical output for
+  // every thread count.
+  const std::uint32_t threads = threads_arg(argc, argv);
+  struct RunSpec {
+    std::uint16_t paths;
+    MultipathAlgo algo;
+    double loss;
+  };
+  const double losses[] = {0.0, 0.01, 0.03};
+  std::vector<RunSpec> specs;
+  for (std::uint16_t paths : {4, 128}) {
+    for (MultipathAlgo algo : algos) {
+      for (double loss : losses) specs.push_back({paths, algo, loss});
+    }
+  }
+  std::vector<double> bw(specs.size());
+  ShardedRunSet runs(threads, specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec spec = specs[i];
+    double* slot = &bw[i];
+    runs.add([spec, slot] {
+      *slot = allreduce_bw(spec.algo, spec.paths, spec.loss);
+    });
+  }
+  runs.execute();
+
   JsonResult json("fig11");
+  std::size_t i = 0;
   for (std::uint16_t paths : {4, 128}) {
     std::printf("\n--- %u paths ---\n", paths);
     print_row({"algorithm", "0% loss", "1% loss", "3% loss", "3% degr."});
     for (MultipathAlgo algo : algos) {
-      const double clean = allreduce_bw(algo, paths, 0.0);
-      const double loss1 = allreduce_bw(algo, paths, 0.01);
-      const double loss3 = allreduce_bw(algo, paths, 0.03);
+      const double clean = bw[i++];
+      const double loss1 = bw[i++];
+      const double loss3 = bw[i++];
       print_row({multipath_algo_name(algo), fmt(clean, 1), fmt(loss1, 1),
                  fmt(loss3, 1),
                  fmt(100.0 * (1.0 - loss3 / clean), 1) + "%"});

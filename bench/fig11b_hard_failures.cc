@@ -14,6 +14,7 @@
 #include "bench/bench_util.h"
 #include "bench/obs_util.h"
 #include "collective/allreduce.h"
+#include "core/run_shard.h"
 #include "fault/fault.h"
 
 using namespace stellar;
@@ -132,19 +133,46 @@ int main(int argc, char** argv) {
                             {MultipathAlgo::kSinglePath, 128}};
 
   JsonResult json("fig11b");
-  for (const std::string scenario : {"link_down", "switch_down"}) {
+  // Each (scenario, config) cell — a clean trial plus the fault trial whose
+  // injection time derives from it — is one independent job; the 8 cells
+  // shard across --threads=N workers (core/run_shard.h). Tables + JSON
+  // emit after the merge, in sweep order — byte-identical output for every
+  // thread count.
+  const std::uint32_t threads = threads_arg(argc, argv);
+  struct Cell {
+    Trial clean;
+    Trial fault;
+  };
+  const std::string scenarios[] = {"link_down", "switch_down"};
+  std::vector<Cell> cells(2 * 4);
+  ShardedRunSet runs(threads, cells.size());
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::string scenario = scenarios[s];
+      const Config c = configs[k];
+      Cell* slot = &cells[s * 4 + k];
+      runs.add([scenario, c, slot] {
+        slot->clean = one_trial(c.algo, c.paths, "none", SimTime::zero());
+        // Inject a quarter of the way into the fault-free duration.
+        const SimTime inject_at = SimTime::picos(
+            static_cast<std::int64_t>(slot->clean.seconds * 1e12 / 4));
+        slot->fault = one_trial(c.algo, c.paths, scenario, inject_at);
+      });
+    }
+  }
+  runs.execute();
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    const std::string scenario = scenarios[s];
     std::printf("\n--- scenario: %s (agg %u) ---\n", scenario.c_str(),
                 kFaultAgg);
     print_row({"algorithm", "paths", "clean ms", "fault ms", "overhead",
                "status", "detect us", "dip"},
               11);
-    for (const Config& c : configs) {
-      const Trial clean =
-          one_trial(c.algo, c.paths, "none", SimTime::zero());
-      // Inject a quarter of the way into the fault-free duration.
-      const SimTime inject_at =
-          SimTime::picos(static_cast<std::int64_t>(clean.seconds * 1e12 / 4));
-      const Trial fault = one_trial(c.algo, c.paths, scenario, inject_at);
+    for (std::size_t k = 0; k < 4; ++k) {
+      const Config& c = configs[k];
+      const Trial& clean = cells[s * 4 + k].clean;
+      const Trial& fault = cells[s * 4 + k].fault;
       const double overhead =
           clean.seconds > 0.0 && fault.status == "OK"
               ? 100.0 * (fault.seconds / clean.seconds - 1.0)

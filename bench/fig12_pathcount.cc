@@ -9,10 +9,12 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/obs_util.h"
 #include "collective/fleet.h"
+#include "core/run_shard.h"
 
 using namespace stellar;
 using namespace stellar::bench;
@@ -93,10 +95,22 @@ int main(int argc, char** argv) {
       "2 RNICs, 16 connections, 16 aggregation switches\n"
       "paper: balance becomes ideal only at >=128 paths");
   print_row({"paths", "max-min delta %", "load CoV %"});
-  for (std::uint16_t paths : {4, 8, 16, 32, 64, 128, 256}) {
-    const Imbalance im = run(paths);
-    print_row({std::to_string(paths), fmt(im.max_min_delta_pct, 2),
-               fmt(im.cov_pct, 1)});
+  // Independent sweep points shard across --threads=N workers
+  // (core/run_shard.h); printing happens after the merge, in sweep order,
+  // so output is byte-identical for every thread count.
+  const std::uint32_t threads = threads_arg(argc, argv);
+  const std::vector<std::uint16_t> sweep = {4, 8, 16, 32, 64, 128, 256};
+  std::vector<Imbalance> results(sweep.size());
+  ShardedRunSet runs(threads, sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const std::uint16_t paths = sweep[i];
+    Imbalance* slot = &results[i];
+    runs.add([paths, slot] { *slot = run(paths); });
+  }
+  runs.execute();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    print_row({std::to_string(sweep[i]), fmt(results[i].max_min_delta_pct, 2),
+               fmt(results[i].cov_pct, 1)});
   }
   engine_meter().report();
   return 0;

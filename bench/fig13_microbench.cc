@@ -7,10 +7,12 @@
 // ~9% bandwidth at 8 MB from encapsulation and vSwitch rule processing.
 #include <cstdio>
 #include <functional>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/obs_util.h"
 #include "collective/fleet.h"
+#include "core/run_shard.h"
 
 using namespace stellar;
 using namespace stellar::bench;
@@ -113,23 +115,54 @@ int main(int argc, char** argv) {
   print_row({"msg size", "bare lat", "vStlr lat", "VxLAN lat", "bare bw",
              "vStlr bw", "VxLAN bw"},
             11);
-  for (std::uint64_t msg : {2_B, 64_B, 1_KiB, 64_KiB, 1_MiB, 8_MiB}) {
-    const Result bare = run(Stack::kBareMetal, msg);
-    const Result vstellar = run(Stack::kVStellar, msg);
-    const Result vxlan = run(Stack::kVfVxlan, msg);
-    print_row({format_bytes(msg), fmt(bare.latency_us, 2),
+  // The 18 table cells plus the 4 summary-line runs are independent
+  // simulations, so they shard across --threads=N workers
+  // (core/run_shard.h); the table and summary print after the merge, in
+  // sweep order — byte-identical output for every thread count.
+  const std::uint32_t threads = threads_arg(argc, argv);
+  const std::vector<std::uint64_t> sizes = {2_B,    64_B,  1_KiB,
+                                            64_KiB, 1_MiB, 8_MiB};
+  const Stack stacks[] = {Stack::kBareMetal, Stack::kVStellar,
+                          Stack::kVfVxlan};
+  std::vector<Result> table(sizes.size() * 3);
+  Result summary[4];  // bare@2B, vxlan@2B, bare@8MiB, vxlan@8MiB
+  ShardedRunSet runs(threads, table.size() + 4);
+  for (std::size_t m = 0; m < sizes.size(); ++m) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const Stack stack = stacks[s];
+      const std::uint64_t msg = sizes[m];
+      Result* slot = &table[m * 3 + s];
+      runs.add([stack, msg, slot] { *slot = run(stack, msg); });
+    }
+  }
+  const struct {
+    Stack stack;
+    std::uint64_t msg;
+  } summary_specs[4] = {{Stack::kBareMetal, 2},
+                        {Stack::kVfVxlan, 2},
+                        {Stack::kBareMetal, 8_MiB},
+                        {Stack::kVfVxlan, 8_MiB}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Stack stack = summary_specs[i].stack;
+    const std::uint64_t msg = summary_specs[i].msg;
+    Result* slot = &summary[i];
+    runs.add([stack, msg, slot] { *slot = run(stack, msg); });
+  }
+  runs.execute();
+
+  for (std::size_t m = 0; m < sizes.size(); ++m) {
+    const Result& bare = table[m * 3 + 0];
+    const Result& vstellar = table[m * 3 + 1];
+    const Result& vxlan = table[m * 3 + 2];
+    print_row({format_bytes(sizes[m]), fmt(bare.latency_us, 2),
                fmt(vstellar.latency_us, 2), fmt(vxlan.latency_us, 2),
                fmt(bare.gbps, 1), fmt(vstellar.gbps, 1), fmt(vxlan.gbps, 1)},
               11);
   }
-  const Result bare = run(Stack::kBareMetal, 2);
-  const Result vxlan = run(Stack::kVfVxlan, 2);
   std::printf("\nVF+VxLAN small-message latency overhead: +%.1f%%\n",
-              100.0 * (vxlan.latency_us / bare.latency_us - 1.0));
-  const Result bare8m = run(Stack::kBareMetal, 8_MiB);
-  const Result vxlan8m = run(Stack::kVfVxlan, 8_MiB);
+              100.0 * (summary[1].latency_us / summary[0].latency_us - 1.0));
   std::printf("VF+VxLAN 8 MiB bandwidth loss: -%.1f%%\n",
-              100.0 * (1.0 - vxlan8m.gbps / bare8m.gbps));
+              100.0 * (1.0 - summary[3].gbps / summary[2].gbps));
   engine_meter().report();
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "bench/obs_util.h"
 #include "collective/allreduce.h"
+#include "core/run_shard.h"
 #include "workload/models.h"
 
 using namespace stellar;
@@ -97,14 +98,33 @@ int main(int argc, char** argv) {
   ObsScope obs_scope(argc, argv, "fig15_16");
   engine_meter();  // start the engine wall clock
   // ---- Measure transport bandwidths under both placements -----------------
-  const double stellar_reranked =
-      measure_allreduce_bw(Placement::kReranked, MultipathAlgo::kObs, 128);
-  const double cx7_reranked = measure_allreduce_bw(
-      Placement::kReranked, MultipathAlgo::kSinglePath, 128);
-  const double stellar_random =
-      measure_allreduce_bw(Placement::kRandom, MultipathAlgo::kObs, 128);
-  const double cx7_random = measure_allreduce_bw(
-      Placement::kRandom, MultipathAlgo::kSinglePath, 128);
+  // The four (placement, transport) measurements are independent
+  // simulations, so they shard across --threads=N workers
+  // (core/run_shard.h); everything downstream is closed-form on the merged
+  // results, so output stays byte-identical for every thread count.
+  const std::uint32_t threads = threads_arg(argc, argv);
+  double stellar_reranked = 0, cx7_reranked = 0;
+  double stellar_random = 0, cx7_random = 0;
+  {
+    ShardedRunSet runs(threads, 4);
+    runs.add([&stellar_reranked] {
+      stellar_reranked =
+          measure_allreduce_bw(Placement::kReranked, MultipathAlgo::kObs, 128);
+    });
+    runs.add([&cx7_reranked] {
+      cx7_reranked = measure_allreduce_bw(Placement::kReranked,
+                                          MultipathAlgo::kSinglePath, 128);
+    });
+    runs.add([&stellar_random] {
+      stellar_random =
+          measure_allreduce_bw(Placement::kRandom, MultipathAlgo::kObs, 128);
+    });
+    runs.add([&cx7_random] {
+      cx7_random = measure_allreduce_bw(Placement::kRandom,
+                                        MultipathAlgo::kSinglePath, 128);
+    });
+    runs.execute();
+  }
 
   print_header("Measured AllReduce bus bandwidth (Gbps) on the fabric");
   print_row({"placement", "Stellar OBS/128", "CX7 single-path"});

@@ -1,0 +1,75 @@
+// Run-level sharding: whole independent simulation runs homed on shards.
+//
+// The fig benches sweep many mutually independent runs (algorithm x
+// path-count points, tenant mixes, failure scenarios); each run builds its
+// own Simulator + ClosFabric + engines, so the natural parallel unit is
+// the *run*, not the packet. ShardedRunSet combines the two pieces built
+// for that:
+//
+//   * sim/parallel.h RunSet — index-deterministic job placement across
+//     worker threads (job i on worker i % threads, each worker in index
+//     order);
+//   * obs/run_capture.h RunCaptureSet — a private ObsHub per run,
+//     installed thread-locally for the job's duration and merged into the
+//     base hub in run-index order at the end.
+//
+// Jobs must write their results into index-addressed slots and the caller
+// prints them after execute() returns, in index order — then stdout,
+// BENCH JSON and traces are byte-identical for every --threads=N.
+// Per-run capture is used even at threads=1, so the single-thread
+// reference shares the exact emission semantics it is compared against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "check/check.h"
+#include "obs/obs.h"
+#include "obs/run_capture.h"
+#include "sim/parallel.h"
+
+namespace stellar {
+
+class ShardedRunSet {
+ public:
+  /// Captures into the currently installed hub (if any); `threads` as in
+  /// RunSet::execute.
+  explicit ShardedRunSet(std::uint32_t threads, std::size_t expected_runs = 0)
+      : threads_(threads == 0 ? 1 : threads),
+        capture_(obs::hub(), expected_runs) {
+    STELLAR_CHECK(expected_runs > 0,
+                  "ShardedRunSet needs the run count up front (per-run "
+                  "capture hubs are allocated before workers start)");
+  }
+
+  /// Queue run-job `index` (indices must be 0..expected_runs-1, each used
+  /// once). The callable runs on a worker thread with the run's capture
+  /// hub installed; anything it touches must be private to the run or
+  /// internally synchronized (bench EngineMeter is).
+  template <typename Fn>
+  void add(Fn job) {
+    const std::size_t index = next_index_++;
+    runs_.add([this, index, job = std::move(job)]() mutable {
+      obs::RunCaptureSet::Scope scope(capture_, index);
+      job();
+    });
+  }
+
+  /// Runs every job, then merges per-run observability into the base hub
+  /// in run-index order. Single-use.
+  void execute() {
+    runs_.execute(threads_);
+    capture_.merge_into_base();
+  }
+
+  std::uint32_t threads() const { return threads_; }
+
+ private:
+  std::uint32_t threads_;
+  std::size_t next_index_ = 0;
+  obs::RunCaptureSet capture_;
+  RunSet runs_;
+};
+
+}  // namespace stellar

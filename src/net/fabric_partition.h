@@ -1,0 +1,70 @@
+// Fabric partitioning rule for the parallel engine (sim/parallel.h).
+//
+// The dual-plane, rail-isolated Clos gives natural shard boundaries:
+// every endpoint is addressed by (segment, host, rail, plane), all
+// host<->ToR traffic stays inside one (segment, plane), and rails never
+// mix — so homing each (segment, plane) region on one shard puts every
+// host link, host/RNIC state and ToR port of that region on a single
+// worker. The only cross-shard hops are ToR->Agg->ToR crossings between
+// segments of the same plane, which ride fabric_link cables; their
+// propagation delay is the conservative lookahead:
+//
+//     L = fabric_link.propagation   (600 ns default)
+//
+// because a packet leaving shard A at t cannot influence shard B before
+// t + L. Host links never cross shards, so their (possibly smaller)
+// latency does not cap L. When the requested shard budget is smaller
+// than segments x planes, regions fold onto shards round-robin by the
+// natural index plane * segments + segment — a pure function of the
+// geometry, so the partition (and with it the deterministic merge order)
+// never depends on thread count or load.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.h"
+#include "sim/parallel.h"
+
+namespace stellar {
+
+struct FabricPartition {
+  std::uint32_t segments = 1;
+  std::uint32_t planes = 1;
+  std::uint32_t shards = 1;
+  SimTime lookahead = SimTime::zero();
+
+  /// Shard homing a (segment, plane) region — and with it the region's
+  /// hosts, RNIC state, host links and ToR ports.
+  std::uint32_t shard_of(std::uint32_t segment, std::uint32_t plane) const {
+    return (plane * segments + segment) % shards;
+  }
+
+  /// Engine configuration for this partition.
+  PdesConfig parallel_config(std::uint32_t threads) const {
+    PdesConfig cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.lookahead = lookahead;
+    return cfg;
+  }
+};
+
+/// Partition `config`'s fabric into at most `max_shards` per-(segment,
+/// plane) shards. max_shards is clamped to [1, kMaxShards] and to the
+/// region count; the lookahead is the minimum propagation of any link
+/// class that can cross shards (fabric_link only, by construction).
+inline FabricPartition make_fabric_partition(const FabricConfig& config,
+                                             std::uint32_t max_shards) {
+  FabricPartition part;
+  part.segments = config.segments;
+  part.planes = config.planes;
+  const std::uint32_t regions = config.segments * config.planes;
+  std::uint32_t shards = max_shards == 0 ? 1 : max_shards;
+  if (shards > ShardedEngine::kMaxShards) shards = ShardedEngine::kMaxShards;
+  if (shards > regions) shards = regions;
+  part.shards = shards;
+  part.lookahead = config.fabric_link.propagation;
+  return part;
+}
+
+}  // namespace stellar

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 namespace stellar::obs {
 
@@ -56,6 +58,33 @@ LogHistogram& MetricsRegistry::histogram(std::string_view name) {
     it = histograms_.try_emplace(std::string(name)).first;
   }
   return it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Snapshot under the source lock, apply through the public accessors
+  // (which take our own lock per series): the two registries' mutexes are
+  // never held together.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, LogHistogram>> histograms;
+  {
+    MutexLock lock(other.mu_);
+    counters.reserve(other.counters_.size());
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c.value());
+    }
+    gauges.reserve(other.gauges_.size());
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g.value());
+    }
+    histograms.reserve(other.histograms_.size());
+    for (const auto& [name, h] : other.histograms_) {
+      histograms.emplace_back(name, h);
+    }
+  }
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).add(v);
+  for (const auto& [name, h] : histograms) histogram(name).merge_from(h);
 }
 
 namespace {

@@ -138,6 +138,21 @@ class LogHistogram {
   /// empty. `q` is clamped to [0, 1].
   double quantile(double q) const;
 
+  /// Fold another histogram's samples into this one (bucket-wise add).
+  /// Exact: the merged histogram equals the one that would have recorded
+  /// both sample streams directly, so per-run histograms merged in run
+  /// order (obs/run_capture.h) dump byte-identically for any thread count.
+  void merge_from(const LogHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      counts_[static_cast<std::size_t>(i)] +=
+          other.counts_[static_cast<std::size_t>(i)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   /// Bucket-midpoint of the sample at (0-based) rank `r`.
   std::uint64_t value_at_rank(std::uint64_t r) const;
@@ -180,6 +195,12 @@ class MetricsRegistry {
     MutexLock lock(mu_);
     for (const auto& [name, g] : gauges_) fn(name, g.value());
   }
+
+  /// Fold another registry into this one: counters and gauges add their
+  /// values, histograms merge bucket-wise (all exact). Merging per-run
+  /// registries in run-index order yields the same lexicographic dump for
+  /// any thread count.
+  void merge_from(const MetricsRegistry& other) STELLAR_EXCLUDES(mu_);
 
   /// Byte-deterministic JSON snapshot: lexicographic name order, integer
   /// values only. Histograms dump count/sum/min/max/p50/p99 (quantiles

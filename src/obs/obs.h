@@ -79,12 +79,21 @@ class ObsHub {
   EventHandle pending_ STELLAR_GUARDED_BY(owner_){};
 };
 
-/// The installed hub, or nullptr (all probes no-op).
+/// The hub probes resolve to: this thread's override when one is set
+/// (per-run capture on a RunSet worker), else the process-wide hub, else
+/// nullptr (all probes no-op).
 ObsHub* hub();
 
 /// Install `h` (nullptr uninstalls); returns the previous hub. Tests and
 /// benches install a stack-local hub for the duration of a run.
 ObsHub* install_hub(ObsHub* h);
+
+/// Override the hub for the *calling thread only* (nullptr clears);
+/// returns the previous override. RunSet workers point this at a per-run
+/// capture hub (obs/run_capture.h) for the duration of a job, so
+/// concurrent runs record into disjoint hubs that merge deterministically
+/// afterwards. The process-wide hub is untouched.
+ObsHub* install_thread_hub(ObsHub* h);
 
 // ---------------------------------------------------------------------------
 // Probe helpers — every call is a no-op without an installed hub. Call

@@ -67,6 +67,43 @@ bool Tracer::set_category_filter(std::string_view csv) {
   return true;
 }
 
+void Tracer::copy_config(const Tracer& from) {
+  bool enabled[kTraceCats];
+  std::uint32_t period[kTraceCats];
+  {
+    MutexLock lock(from.mu_);
+    for (int i = 0; i < kTraceCats; ++i) {
+      enabled[i] = from.enabled_[i];
+      period[i] = from.sample_period_[i];
+    }
+  }
+  MutexLock lock(mu_);
+  for (int i = 0; i < kTraceCats; ++i) {
+    enabled_[i] = enabled[i];
+    sample_period_[i] = period[i];
+  }
+}
+
+void Tracer::append_from(const Tracer& from) {
+  // Copy under the source lock, splice under ours: never hold both (the
+  // merge runs on one thread, but a fixed single-lock discipline keeps the
+  // analysis and TSan trivially happy).
+  std::vector<Event> copied;
+  std::uint64_t offered[kTraceCats];
+  std::uint64_t dropped = 0;
+  {
+    MutexLock lock(from.mu_);
+    copied = from.events_;
+    for (int i = 0; i < kTraceCats; ++i) offered[i] = from.offered_[i];
+    dropped = from.dropped_;
+  }
+  MutexLock lock(mu_);
+  events_.insert(events_.end(), std::make_move_iterator(copied.begin()),
+                 std::make_move_iterator(copied.end()));
+  for (int i = 0; i < kTraceCats; ++i) offered_[i] += offered[i];
+  dropped_ += dropped;
+}
+
 bool Tracer::admit(TraceCat cat) {
   const int c = static_cast<int>(cat);
   if (!enabled_[c]) return false;

@@ -139,6 +139,18 @@ class Tracer {
     return dropped_;
   }
 
+  /// Mirror another tracer's admission configuration (enabled categories
+  /// and sample periods) without touching its events. Used by per-run
+  /// capture hubs (obs/run_capture.h) so every run samples exactly as the
+  /// base tracer would.
+  void copy_config(const Tracer& from) STELLAR_EXCLUDES(mu_);
+
+  /// Deterministic merge: append every event of `from` (in its recorded
+  /// order) after this tracer's events and fold in its offered/dropped
+  /// sampling accounting. Callers merge per-run tracers in run-index
+  /// order, which makes the combined stream independent of thread count.
+  void append_from(const Tracer& from) STELLAR_EXCLUDES(mu_);
+
   /// Serialize to Chrome trace-event JSON: one event per line, metadata
   /// records first, byte-deterministic.
   std::string to_json() const STELLAR_EXCLUDES(mu_);

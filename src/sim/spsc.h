@@ -1,0 +1,103 @@
+// Single-producer / single-consumer channel for cross-shard event handoff.
+//
+// The parallel engine (sim/parallel.h) gives every directed shard pair its
+// own channel, so each end is touched by exactly one thread: the sending
+// shard's worker pushes from inside event execution, the receiving shard's
+// worker drains between conservative windows. That pairing is the whole
+// synchronization story — no CAS loops, no MPMC generality, just one
+// release store per published item (batched per chunk) and one acquire
+// load per consumed chunk.
+//
+// The queue is unbounded: items live in fixed-size chunks linked
+// producer-to-consumer, and the producer allocates a fresh chunk when the
+// tail fills. A bounded ring would be cheaper per push, but it can
+// deadlock the engine when one worker drives both the full channel's
+// producer shard and its consumer shard (the push spin starves the drain).
+// Handoffs are orders of magnitude rarer than intra-shard events, so the
+// occasional chunk allocation is noise.
+//
+// Memory ordering contract with the engine's clock protocol: the producer
+// publishes every message *before* release-storing its shard clock, and
+// the consumer acquire-loads that clock before draining, so a consumer
+// that has seen clock C observes every message sent by events at or
+// before C. The per-chunk `count` release/acquire pair makes the item
+// payloads themselves race-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace stellar {
+
+template <typename T, std::size_t kChunk = 256>
+class SpscChannel {
+ public:
+  SpscChannel() : head_(new Node), tail_(head_) {}
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  ~SpscChannel() {
+    // Quiescent by contract (the engine joins its workers first): drain
+    // unconsumed items, then free the chain.
+    T scratch;
+    while (try_pop(scratch)) {
+    }
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side only.
+  void push(T&& item) {
+    if (tail_idx_ == kChunk) {
+      Node* n = new Node;
+      tail_->next.store(n, std::memory_order_release);
+      tail_ = n;
+      tail_idx_ = 0;
+    }
+    ::new (tail_->slot(tail_idx_)) T(std::move(item));
+    tail_->count.store(tail_idx_ + 1, std::memory_order_release);
+    ++tail_idx_;
+  }
+
+  /// Consumer side only. Returns false when no published item is visible.
+  bool try_pop(T& out) {
+    if (head_idx_ == kChunk) {
+      Node* n = head_->next.load(std::memory_order_acquire);
+      if (n == nullptr) return false;
+      delete head_;
+      head_ = n;
+      head_idx_ = 0;
+    }
+    if (head_idx_ >= head_->count.load(std::memory_order_acquire)) {
+      return false;
+    }
+    T* item = std::launder(reinterpret_cast<T*>(head_->slot(head_idx_)));
+    out = std::move(*item);
+    item->~T();
+    ++head_idx_;
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::atomic<std::size_t> count{0};  // items published in this chunk
+    std::atomic<Node*> next{nullptr};
+    alignas(T) unsigned char storage[kChunk * sizeof(T)];
+    void* slot(std::size_t i) { return storage + i * sizeof(T); }
+  };
+
+  // Consumer-owned cursor (own cache line: the two ends never share one).
+  alignas(64) Node* head_;
+  std::size_t head_idx_ = 0;
+  // Producer-owned cursor.
+  alignas(64) Node* tail_;
+  std::size_t tail_idx_ = 0;
+};
+
+}  // namespace stellar

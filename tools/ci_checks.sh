@@ -5,7 +5,9 @@
 #   1. default build (STELLAR_AUDIT=ON) + the complete test suite
 #   2. the audit-labelled invariant tests on their own (fast signal)
 #   3. the fault-labelled fault-injection/recovery tests on their own
-#   4. the sim-labelled engine determinism/stress tests on their own
+#   4. the sim-labelled engine determinism/stress tests, run once per
+#      engine mode (STELLAR_TEST_THREADS=1 and =4 — the threaded tests
+#      compare the parallel engine against that thread count)
 #   5. the obs-labelled observability golden/property tests on their own
 #   6. the migrate-labelled control-plane robustness tests (snapshots,
 #      hot-upgrade, live migration, chaos soak) on their own, plus an
@@ -18,6 +20,10 @@
 #      byte-deterministic
 #   7. a fig09 mini trace dump + trace_summarize smoke (the tracer's
 #      byte-determinism and the summarizer's parser, end to end)
+#   7b. the parallel-engine determinism gate: fig09-mini at --threads=1
+#      vs --threads=4 — stdout (minus wall-clock [engine] lines), the
+#      BENCH JSON, the metrics snapshot and the trace must all be
+#      byte-identical between engine modes
 #   8. ASan+UBSan build + the complete test suite + the fault, sim, obs,
 #      migrate and tenant suites
 #   9. TSan build (-DSTELLAR_SANITIZE=thread) + the threaded shard-safety
@@ -82,8 +88,9 @@ ctest --test-dir build --output-on-failure -L audit
 step "fault injection suite (ctest -L fault)"
 ctest --test-dir build --output-on-failure -L fault
 
-step "engine determinism/stress suite (ctest -L sim)"
-ctest --test-dir build --output-on-failure -L sim
+step "engine determinism/stress suite (ctest -L sim, both engine modes)"
+STELLAR_TEST_THREADS=1 ctest --test-dir build --output-on-failure -L sim
+STELLAR_TEST_THREADS=4 ctest --test-dir build --output-on-failure -L sim
 
 step "observability golden/property suite (ctest -L obs)"
 ctest --test-dir build --output-on-failure -L obs
@@ -129,6 +136,24 @@ obs_smoke_dir="$(mktemp -d)"
   "$repo_root/build/tools/trace_summarize" mini_trace.json | head -n 5)
 rm -rf "$obs_smoke_dir"
 
+step "parallel engine determinism (fig09 mini, --threads=1 vs --threads=4)"
+par_det_dir="$(mktemp -d)"
+(cd "$par_det_dir" &&
+  mkdir t1 t4 &&
+  (cd t1 && "$repo_root/build/bench/fig09_permutation" 0.02 --threads=1 \
+    --trace=mini_trace.json --trace-sample=256 > fig09.log) &&
+  (cd t4 && "$repo_root/build/bench/fig09_permutation" 0.02 --threads=4 \
+    --trace=mini_trace.json --trace-sample=256 > fig09.log) &&
+  # [engine] lines report wall-clock (and per-shard splits that exist
+  # only when threaded); everything else must match byte-for-byte.
+  diff <(grep -v '^\[engine\]' t1/fig09.log) \
+       <(grep -v '^\[engine\]' t4/fig09.log) &&
+  cmp t1/BENCH_fig09.json t4/BENCH_fig09.json &&
+  cmp t1/BENCH_fig09_obs.json t4/BENCH_fig09_obs.json &&
+  cmp t1/mini_trace.json t4/mini_trace.json &&
+  echo "fig09 mini byte-identical across engine modes")
+rm -rf "$par_det_dir"
+
 if [ "$skip_san" -eq 0 ]; then
   step "ASan+UBSan build + full test suite"
   cmake -B build-san -S . -DSTELLAR_SANITIZE=address,undefined
@@ -136,8 +161,9 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -j"$jobs"
   step "fault injection suite under sanitizers (ctest -L fault)"
   ctest --test-dir build-san --output-on-failure -L fault
-  step "engine determinism/stress suite under sanitizers (ctest -L sim)"
-  ctest --test-dir build-san --output-on-failure -L sim
+  step "engine determinism/stress suite under sanitizers (ctest -L sim, both engine modes)"
+  STELLAR_TEST_THREADS=1 ctest --test-dir build-san --output-on-failure -L sim
+  STELLAR_TEST_THREADS=4 ctest --test-dir build-san --output-on-failure -L sim
   step "observability suite under sanitizers (ctest -L obs)"
   ctest --test-dir build-san --output-on-failure -L obs
   step "control-plane robustness suite under sanitizers (ctest -L migrate)"

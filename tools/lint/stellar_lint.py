@@ -28,6 +28,13 @@ on the offending line or the line above):
   float-format          No float formatting ("%f/%e/%g", setprecision) in
                         src/ emitters: float text is locale/libc-dependent.
                         Serialize scaled integers (ps, ppm, bytes) instead.
+  shard-shared          No mutable file-scope or static-storage state in the
+                        shard-homed modules (src/sim, src/net, src/core): the
+                        parallel engine (sim/parallel.h) runs shards on
+                        concurrent workers, so a mutable static is a data
+                        race *and* a determinism leak between shards.
+                        const/constexpr and thread_local (shard-private by
+                        construction) are exempt.
   layering              #includes must follow the declared module DAG below
                         (e.g. src/sim must not include src/net).
 
@@ -123,7 +130,64 @@ FLOAT_FMT_STREAM_RE = re.compile(
 
 STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
 
+# Modules whose state is homed on engine shards: mutable statics there are
+# cross-shard shared state (sim/parallel.h runs shards concurrently).
+SHARD_SHARED_PREFIXES = ("src/sim/", "src/net/", "src/core/")
+SHARD_SHARED_EXEMPT_RE = re.compile(
+    r"\b(thread_local|constexpr|constinit)\b|\bstatic_assert\b")
+STATIC_KW_RE = re.compile(r"(?:^|[\s;{}(])static(?:\s|$)")
+# Lines that cannot be a namespace-scope variable definition.
+SHARD_DECL_SKIP_RE = re.compile(
+    r"^\s*(?:[}#]|using\b|typedef\b|namespace\b|template\b|extern\b"
+    r"|friend\b|class\b|struct\b|enum\b|return\b|public\s*:|private\s*:"
+    r"|protected\s*:|case\b|default\s*:|goto\b|if\b|for\b|while\b|do\b"
+    r"|switch\b|else\b|break\b|continue\b|delete\b|operator\b)")
+NS_VAR_DEF_RE = re.compile(
+    r"^(?:inline\s+)?[A-Za-z_][\w:]*(?:\s*[&*]+\s*|\s+)"
+    r"[A-Za-z_][\w:]*\s*(?:=|\{|\[|;)")
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def strip_template_args(s: str) -> str:
+    """Blank balanced <...> groups so template commas/parens don't confuse
+    the declaration heuristics."""
+    prev = None
+    while prev != s:
+        prev = s
+        s = re.sub(r"<[^<>]*>", "", s)
+    return s
+
+
+class NamespaceTracker:
+    """Tracks whether the current line sits at namespace/file scope (every
+    open brace on the stack belongs to a namespace). Heuristic like
+    FunctionTracker: a brace is a namespace brace when the preceding
+    non-terminated code text ends with `namespace [name]`."""
+
+    def __init__(self) -> None:
+        self.stack: list[bool] = []
+        self.buf = ""
+
+    def at_namespace_scope(self) -> bool:
+        return all(self.stack)
+
+    def feed(self, line: str) -> None:
+        for c in line:
+            if c == "{":
+                is_ns = re.search(
+                    r"\bnamespace(\s+[A-Za-z_][\w:]*)?\s*$", self.buf
+                ) is not None
+                self.stack.append(is_ns)
+                self.buf = ""
+            elif c == "}":
+                if self.stack:
+                    self.stack.pop()
+                self.buf = ""
+            elif c == ";":
+                self.buf = ""
+            else:
+                self.buf += c
 
 
 @dataclass
@@ -335,6 +399,7 @@ class Linter:
         self.rule_std_function(sf)
         self.rule_float_format(sf)
         self.rule_unordered_iter(sf)
+        self.rule_shard_shared(sf)
         self.rule_layering(sf)
 
     def rule_wall_clock(self, sf: SourceFile) -> None:
@@ -423,6 +488,59 @@ class Linter:
             if name in local or name in self.unordered_global:
                 return name
         return None
+
+    def rule_shard_shared(self, sf: SourceFile) -> None:
+        if not sf.path.startswith(SHARD_SHARED_PREFIXES):
+            return
+        ns = NamespaceTracker()
+        for i, line in enumerate(sf.code, start=1):
+            at_ns = ns.at_namespace_scope()
+            ns.feed(line)
+            if SHARD_SHARED_EXEMPT_RE.search(line):
+                continue
+            m = STATIC_KW_RE.search(line)
+            if m is not None:
+                rest = strip_template_args(line[m.end():])
+                if re.match(r"\s*(?:inline\s+)?const\b", rest):
+                    continue  # static const data: immutable, shareable
+                if self._is_data_decl(rest):
+                    self.report(
+                        sf, i, "shard-shared",
+                        "mutable static-storage state in a shard-homed "
+                        "module: shards run on concurrent workers "
+                        "(sim/parallel.h), so this is shared across shards; "
+                        "home it on the shard's object graph, make it "
+                        "const/constexpr, or use thread_local")
+                continue
+            # File/namespace-scope variable definitions without the static
+            # keyword (anonymous-namespace globals) share state all the same.
+            if not at_ns:
+                continue
+            s = line.strip()
+            if not s or not s.endswith(";") or SHARD_DECL_SKIP_RE.match(s):
+                continue
+            t = strip_template_args(s)
+            if re.match(r"^(?:inline\s+)?const\b", t):
+                continue
+            if NS_VAR_DEF_RE.match(t) and self._is_data_decl(t):
+                self.report(
+                    sf, i, "shard-shared",
+                    "mutable file-scope state in a shard-homed module: "
+                    "shards run on concurrent workers (sim/parallel.h), so "
+                    "this is shared across shards; home it on the shard's "
+                    "object graph, make it const/constexpr, or use "
+                    "thread_local")
+
+    @staticmethod
+    def _is_data_decl(decl: str) -> bool:
+        """True when a (template-stripped) declaration tail is a variable,
+        not a function: no parameter list, or an initializer before any
+        `(` (e.g. `Foo x = make();`)."""
+        paren = decl.find("(")
+        if paren < 0:
+            return True
+        inits = [p for p in (decl.find("="), decl.find("{")) if p >= 0]
+        return bool(inits) and min(inits) < paren
 
     def rule_layering(self, sf: SourceFile) -> None:
         module = module_of(sf.path)
