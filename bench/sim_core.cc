@@ -28,6 +28,10 @@
 #include <unordered_set>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "bench/bench_util.h"
 #include "check/check.h"
 #include "collective/fleet.h"
@@ -352,6 +356,49 @@ ShardedMixResult run_pdes_scaling(std::uint32_t shards, std::uint32_t threads,
   return out;
 }
 
+// CPUs actually available to this process. hardware_concurrency() reports
+// host logical CPUs even under a container CPU quota or a restricted
+// affinity mask (shared CI runners), which would arm the 4-thread scaling
+// bar on machines that cannot run 4 threads — so take the minimum of the
+// affinity mask and the cgroup (v2 then v1) quota as well.
+unsigned effective_cpus() {
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+#if defined(__linux__)
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const unsigned affinity = static_cast<unsigned>(CPU_COUNT(&mask));
+    if (affinity > 0 && affinity < n) n = affinity;
+  }
+  long long quota = 0, period = 0;
+  bool have_quota = false;
+  if (std::FILE* f = std::fopen("/sys/fs/cgroup/cpu.max", "r")) {
+    // cgroup v2: "<quota> <period>", or "max <period>" when unlimited
+    // (which %lld rejects, leaving have_quota false).
+    have_quota = std::fscanf(f, "%lld %lld", &quota, &period) == 2;
+    std::fclose(f);
+  } else if (std::FILE* q =
+                 std::fopen("/sys/fs/cgroup/cpu/cpu.cfs_quota_us", "r")) {
+    // cgroup v1: quota of -1 means unlimited.
+    have_quota = std::fscanf(q, "%lld", &quota) == 1;
+    std::fclose(q);
+    if (std::FILE* p =
+            std::fopen("/sys/fs/cgroup/cpu/cpu.cfs_period_us", "r")) {
+      have_quota = have_quota && std::fscanf(p, "%lld", &period) == 1;
+      std::fclose(p);
+    } else {
+      have_quota = false;
+    }
+  }
+  if (have_quota && quota > 0 && period > 0) {
+    const long long budget = quota / period;
+    const unsigned eff = budget < 1 ? 1u : static_cast<unsigned>(budget);
+    if (eff < n) n = eff;
+  }
+#endif
+  return n;
+}
+
 const char* mix_name(Mix mix) {
   switch (mix) {
     case Mix::kScheduleFire: return "schedule_fire";
@@ -441,7 +488,7 @@ int main(int argc, char** argv) {
   print_row({"threads", "events", "wall s", "M events/s", "speedup",
              "overhead"});
   const std::uint32_t pdes_rounds = rounds(30);
-  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cpus = effective_cpus();
   double pdes_eps1 = 0, pdes_eps4 = 0;
   std::uint64_t pdes_hash_ref = 0;
   for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
@@ -507,16 +554,22 @@ int main(int argc, char** argv) {
   }
 
   // Parallel-engine bar: >=2x aggregate throughput at 4 threads on the
-  // 65536-pending mix. Only meaningful with real cores underneath — on a
-  // machine with fewer than 4 hardware threads the sweep still runs (and
-  // still must be deterministic, checked above), but the bar is reported
-  // rather than enforced.
+  // 65536-pending mix. Only meaningful with real cores underneath — with
+  // fewer than 4 effective CPUs (affinity mask and cgroup quota included,
+  // see effective_cpus()) the sweep still runs (and still must be
+  // deterministic, checked above), but the bar is reported rather than
+  // enforced. STELLAR_PERF_ENFORCE=1 forces enforcement on dedicated perf
+  // runners; =0 demotes the bar to a warning everywhere.
   const double pdes_scaling = pdes_eps1 > 0 ? pdes_eps4 / pdes_eps1 : 0;
-  if (hw < 4) {
+  const char* enforce_env = std::getenv("STELLAR_PERF_ENFORCE");
+  const bool enforce_bar =
+      enforce_env ? enforce_env[0] == '1' : cpus >= 4;
+  if (!enforce_bar) {
     std::fprintf(stderr,
                  "note: 4-thread scaling %.2fx not enforced "
-                 "(hardware_concurrency=%u < 4)\n",
-                 pdes_scaling, hw);
+                 "(effective cpus=%u%s)\n",
+                 pdes_scaling, cpus,
+                 enforce_env ? ", STELLAR_PERF_ENFORCE=0" : " < 4");
   } else if (scale >= 1.0 && pdes_scaling < 2.0) {
     std::fprintf(stderr,
                  "FAIL: parallel engine 4-thread scaling %.2fx < 2.0x bar\n",

@@ -34,8 +34,9 @@ namespace stellar {
 class ShardedRunSet {
  public:
   /// Captures into the currently installed hub (if any); `threads` as in
-  /// RunSet::execute.
-  explicit ShardedRunSet(std::uint32_t threads, std::size_t expected_runs = 0)
+  /// RunSet::execute. `expected_runs` must be the exact number of add()
+  /// calls that will follow — per-run capture hubs are allocated up front.
+  ShardedRunSet(std::uint32_t threads, std::size_t expected_runs)
       : threads_(threads == 0 ? 1 : threads),
         capture_(obs::hub(), expected_runs) {
     STELLAR_CHECK(expected_runs > 0,

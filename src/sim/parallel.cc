@@ -59,7 +59,11 @@ void ShardedEngine::post(std::uint32_t from, std::uint32_t to, SimTime at,
   // folded the event into its wheel, so in_flight_ == 0 proves every
   // channel is empty — the termination test relies on that.
   in_flight_.fetch_add(1, std::memory_order_seq_cst);
-  posted_.fetch_add(1, std::memory_order_relaxed);
+  // seq_cst, and ordered before the push: the all-idle termination path
+  // compares posted_ snapshots across its clock/idle scan, so a post whose
+  // in_flight_ bump was already consumed by a drain must still be visible
+  // through the counter.
+  posted_.fetch_add(1, std::memory_order_seq_cst);
   shards_[to]->in[from]->push(RemoteEvent{at.ps(), stamp, std::move(action)});
 }
 
@@ -109,23 +113,43 @@ void ShardedEngine::drive(std::uint32_t worker, std::uint32_t worker_count,
         progressed = true;
       }
     }
-    if (!stop_.load(std::memory_order_acquire) &&
-        in_flight_.load(std::memory_order_seq_cst) == 0) {
-      bool at_deadline = true;
-      bool all_idle = true;
-      for (std::uint32_t p = 0; p < n; ++p) {
-        if (shards_[p]->clock_ps.load(std::memory_order_acquire) !=
-            deadline_ps) {
-          at_deadline = false;
+    if (!stop_.load(std::memory_order_acquire)) {
+      // Double-checked termination detection. The scan below is racy on
+      // its own: a peer can post a handoff while we walk the clocks and
+      // idle flags (a sender posting in its final window before its
+      // release-store of clock = deadline, or a chained handoff flipping
+      // a shard non-idle after we already read its flag as true), leaving
+      // an undrained event in a channel at shutdown. So snapshot posted_
+      // first, scan, then re-verify before setting stop_.
+      const std::uint64_t posted_before =
+          posted_.load(std::memory_order_seq_cst);
+      if (in_flight_.load(std::memory_order_seq_cst) == 0) {
+        bool at_deadline = true;
+        bool all_idle = true;
+        for (std::uint32_t p = 0; p < n; ++p) {
+          if (shards_[p]->clock_ps.load(std::memory_order_acquire) !=
+              deadline_ps) {
+            at_deadline = false;
+          }
+          if (!shards_[p]->idle.load(std::memory_order_seq_cst)) {
+            all_idle = false;
+          }
         }
-        if (!shards_[p]->idle.load(std::memory_order_seq_cst)) {
-          all_idle = false;
+        // at_deadline is stable once re-confirmed: clocks only grow, every
+        // wheel has executed through the deadline so nothing can post
+        // anymore, and a post raced against a sender's final clock store
+        // is visible to the in_flight_ re-read through that store's
+        // release/acquire edge. all_idle additionally requires posted_
+        // unchanged across the scan: an idle flag we read as true can go
+        // stale through a chained handoff, but every such chain starts
+        // with a post, which the snapshot comparison catches.
+        if ((at_deadline || all_idle) &&
+            in_flight_.load(std::memory_order_seq_cst) == 0 &&
+            (at_deadline ||
+             posted_.load(std::memory_order_seq_cst) == posted_before)) {
+          stop_.store(true, std::memory_order_release);
         }
       }
-      // Both conditions are stable once observed with in_flight_ == 0:
-      // clocks only grow, and a globally idle engine has nothing left
-      // that could execute or post.
-      if (at_deadline || all_idle) stop_.store(true, std::memory_order_release);
     }
     if (stop_.load(std::memory_order_acquire)) break;
     if (!progressed) std::this_thread::yield();
@@ -137,6 +161,7 @@ void ShardedEngine::drive(std::uint32_t worker, std::uint32_t worker_count,
 
 std::uint64_t ShardedEngine::run_until(SimTime deadline) {
   const std::int64_t deadline_ps = deadline.ps();
+  running_.store(true, std::memory_order_release);
   std::uint64_t executed_before = 0;
   for (auto& sh : shards_) {
     STELLAR_CHECK(deadline_ps >= sh->clock_ps.load(std::memory_order_relaxed),
@@ -179,16 +204,25 @@ std::uint64_t ShardedEngine::run_until(SimTime deadline) {
   }
   STELLAR_CHECK(in_flight_.load(std::memory_order_seq_cst) == 0,
                 "handoffs still in flight at the merged barrier");
+  running_.store(false, std::memory_order_release);
   return executed_after - executed_before;
 }
 
+void ShardedEngine::assert_quiescent() const {
+  STELLAR_CHECK(!running_.load(std::memory_order_acquire),
+                "ShardedEngine counters may only be read at a merged "
+                "barrier, not while run_until is in flight");
+}
+
 std::uint64_t ShardedEngine::executed_events() const {
+  assert_quiescent();
   std::uint64_t total = 0;
   for (const auto& sh : shards_) total += sh->sim.executed_events();
   return total;
 }
 
 ShardedEngine::EngineStats ShardedEngine::stats() const {
+  assert_quiescent();
   EngineStats st;
   st.posted = posted_.load(std::memory_order_relaxed);
   st.in_flight = in_flight_.load(std::memory_order_relaxed);

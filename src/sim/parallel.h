@@ -40,6 +40,10 @@
 // h >= C_min + L > C_min, so some shard can always advance; termination
 // is all clocks at the deadline with no handoff in flight (or every shard
 // simultaneously idle with empty channels, which ends the run early).
+// Detection is double-checked: in_flight_ is re-verified after the
+// clock/idle scan (and the all-idle path also requires the posted-handoff
+// counter unchanged across the scan), so a handoff posted mid-scan can
+// never be stranded in a channel by a premature stop.
 //
 // RunSet (below) is the second sharding axis: whole *independent runs*
 // (fig-bench sweep points) distributed across workers with
@@ -102,6 +106,7 @@ class ShardedEngine {
 
   std::uint64_t executed_events() const;                 // aggregate
   std::uint64_t shard_executed(std::uint32_t s) const {  // per shard
+    assert_quiescent();
     return shards_[s]->sim.executed_events();
   }
 
@@ -140,6 +145,10 @@ class ShardedEngine {
   void drive(std::uint32_t worker, std::uint32_t worker_count,
              std::int64_t deadline_ps);
   bool drain_inbound(Shard& sh);
+  /// executed_events()/shard_executed()/stats() sum plain per-shard
+  /// counters that worker threads own while run_until is in flight —
+  /// checks that the caller is at a merged barrier.
+  void assert_quiescent() const;
 
   std::uint32_t threads_;
   std::int64_t lookahead_ps_;
@@ -148,6 +157,8 @@ class ShardedEngine {
   std::atomic<std::uint64_t> posted_{0};
   std::atomic<std::uint64_t> windows_{0};
   std::atomic<bool> stop_{false};
+  /// True from run_until entry to the merged barrier.
+  std::atomic<bool> running_{false};
 };
 
 /// Deterministic executor for independent run-jobs (the second sharding
