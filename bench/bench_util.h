@@ -10,14 +10,67 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/hybrid.h"
 #include "sim/parallel.h"
 #include "sim/simulator.h"
 
 namespace stellar::bench {
+
+// -- Fidelity selection -------------------------------------------------------
+//
+// --fidelity={packet,fluid,hybrid} picks the simulation engine for benches
+// that support the hybrid fidelity driver (fig09/fig12/fig15_16):
+//   packet  per-packet reference engine (the default; byte-identical to
+//           builds without the driver attached)
+//   hybrid  fluid fast-forward of stable epochs with packet-level zoom over
+//           the measured window (docs/HYBRID.md)
+//   fluid   flow-level everywhere triggers allow; forced zooms promote back
+//           after one epoch
+
+enum class Fidelity { kPacket, kFluid, kHybrid };
+
+inline const char* fidelity_name(Fidelity f) {
+  switch (f) {
+    case Fidelity::kPacket: return "packet";
+    case Fidelity::kFluid: return "fluid";
+    case Fidelity::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+inline Fidelity fidelity_arg(int argc, char** argv,
+                             Fidelity def = Fidelity::kPacket) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fidelity=", 11) == 0) {
+      const char* v = argv[i] + 11;
+      if (std::strcmp(v, "packet") == 0) return Fidelity::kPacket;
+      if (std::strcmp(v, "fluid") == 0) return Fidelity::kFluid;
+      if (std::strcmp(v, "hybrid") == 0) return Fidelity::kHybrid;
+      std::fprintf(stderr,
+                   "warning: unknown --fidelity=%s "
+                   "(want packet|fluid|hybrid); using packet\n",
+                   v);
+    }
+  }
+  return def;
+}
+
+/// Build the driver for the requested fidelity — nullptr for packet, so the
+/// packet path stays exactly the no-driver build. Must be called before any
+/// RdmaEngine is constructed on `fabric` and destroyed after all of them.
+inline std::unique_ptr<HybridDriver> make_fidelity_driver(Simulator& sim,
+                                                          ClosFabric& fabric,
+                                                          Fidelity f) {
+  if (f == Fidelity::kPacket) return nullptr;
+  HybridConfig hc;
+  if (f == Fidelity::kFluid) hc.poll_triggers = false;
+  return std::make_unique<HybridDriver>(sim, fabric, hc);
+}
 
 /// --threads=N flag shared by every simulator-driving bench: the worker
 /// count for run-level sharding (core/run_shard.h) or the parallel engine

@@ -30,7 +30,7 @@ struct QueueStats {
 };
 
 QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths,
-                           double scale) {
+                           double scale, Fidelity fidelity) {
   Simulator sim;
   if (obs::ObsHub* h = obs::hub()) h->set_clock(&sim);
   FabricConfig fc;
@@ -44,6 +44,8 @@ QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths,
   // as in the production dual-plane fabric.
   fc.fabric_link.bandwidth = Bandwidth::gbps(200);
   ClosFabric fabric(sim, fc);
+  auto hybrid = make_fidelity_driver(sim, fabric, fidelity);
+  if (hybrid != nullptr) attach_fluid_spans(*hybrid);
   EngineFleet fleet(sim, fabric);
 
   std::vector<EndpointId> eps;
@@ -67,6 +69,14 @@ QueueStats run_permutation(MultipathAlgo algo, std::uint16_t paths,
       SimTime::picos(static_cast<std::int64_t>(1e9 * scale));
   const SimTime window =
       SimTime::picos(static_cast<std::int64_t>(2e9 * scale));
+  // Hybrid: fast-forward the first half of the warmup flow-level, then zoom
+  // to packets for the second half (CC re-converges from the fluid rates)
+  // and the entire measured window — queue depths are real packet-mode
+  // observations. Pure fluid runs flow-level throughout (queues stay ~0).
+  if (fidelity == Fidelity::kHybrid) {
+    hybrid->request_zoom_window(SimTime::picos(warmup.ps() / 2),
+                                warmup + window);
+  }
   sim.run_until(warmup);
   fabric.reset_stats();
   const std::uint64_t before = traffic.completed_bytes();
@@ -96,10 +106,12 @@ int main(int argc, char** argv) {
   ObsScope obs_scope(argc, argv, "fig09");
   const double scale = scale_arg(argc, argv);
   const std::uint32_t threads = threads_arg(argc, argv);
+  const Fidelity fidelity = fidelity_arg(argc, argv);
   print_header(
       "Figure 9 - ToR uplink queue depth, permutation traffic (32 flows,\n"
       "2 segments, 16 aggs/plane; paper uses 30 servers / 120 flows)\n"
       "columns: mean queue KiB | max queue KiB | per-flow goodput Gbps");
+  std::printf("fidelity: %s\n", fidelity_name(fidelity));
 
   const MultipathAlgo algos[] = {
       MultipathAlgo::kSinglePath, MultipathAlgo::kBestRtt,
@@ -125,8 +137,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RunSpec spec = specs[i];
     QueueStats* slot = &results[i];
-    runs.add([spec, slot, scale] {
-      *slot = run_permutation(spec.algo, spec.paths, scale);
+    runs.add([spec, slot, scale, fidelity] {
+      *slot = run_permutation(spec.algo, spec.paths, scale, fidelity);
     });
   }
   runs.execute();
@@ -142,6 +154,7 @@ int main(int argc, char** argv) {
                  fmt(s.max_kib, 1), fmt(s.goodput_gbps, 1)});
       json.add_row({{"algo", jstr(multipath_algo_name(algo))},
                     {"paths", jint(paths)},
+                    {"fidelity", jstr(fidelity_name(fidelity))},
                     {"mean_queue_kib", jnum(s.mean_kib)},
                     {"max_queue_kib", jnum(s.max_kib)},
                     {"goodput_gbps", jnum(s.goodput_gbps)}});

@@ -26,7 +26,7 @@ struct Imbalance {
   double cov_pct = 0;            // coefficient of variation of loads
 };
 
-Imbalance run(std::uint16_t paths) {
+Imbalance run(std::uint16_t paths, Fidelity fidelity) {
   Simulator sim;
   FabricConfig fc;
   fc.segments = 2;
@@ -35,6 +35,8 @@ Imbalance run(std::uint16_t paths) {
   fc.planes = 1;
   fc.aggs_per_plane = 16;
   ClosFabric fabric(sim, fc);
+  auto hybrid = make_fidelity_driver(sim, fabric, fidelity);
+  if (hybrid != nullptr) attach_fluid_spans(*hybrid);
   EngineFleet fleet(sim, fabric);
 
   // Two RNICs (one per segment host 0), 16 connections between them.
@@ -55,6 +57,12 @@ Imbalance run(std::uint16_t paths) {
     c->post_write(512_KiB, *repost);
   }
 
+  // Hybrid: fluid fast-forward over the first half of the warmup, packet
+  // zoom from there through the whole measured window — per-uplink
+  // bytes_sent (the imbalance metric) only exists in packet mode.
+  if (fidelity == Fidelity::kHybrid) {
+    hybrid->request_zoom_window(SimTime::micros(500), SimTime::millis(5));
+  }
   sim.run_until(SimTime::millis(1));  // warm up
   fabric.reset_stats();
   const SimTime window = SimTime::millis(4);
@@ -99,13 +107,15 @@ int main(int argc, char** argv) {
   // (core/run_shard.h); printing happens after the merge, in sweep order,
   // so output is byte-identical for every thread count.
   const std::uint32_t threads = threads_arg(argc, argv);
+  const Fidelity fidelity = fidelity_arg(argc, argv);
+  std::printf("fidelity: %s\n", fidelity_name(fidelity));
   const std::vector<std::uint16_t> sweep = {4, 8, 16, 32, 64, 128, 256};
   std::vector<Imbalance> results(sweep.size());
   ShardedRunSet runs(threads, sweep.size());
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const std::uint16_t paths = sweep[i];
     Imbalance* slot = &results[i];
-    runs.add([paths, slot] { *slot = run(paths); });
+    runs.add([paths, slot, fidelity] { *slot = run(paths, fidelity); });
   }
   runs.execute();
   for (std::size_t i = 0; i < sweep.size(); ++i) {

@@ -27,14 +27,20 @@ namespace {
 enum class Placement { kReranked, kRandom };
 
 /// Measured per-GPU effective AllReduce bandwidth (Gbps) on the simulated
-/// fabric for a given placement and transport.
+/// fabric for a given placement and transport. `endpoints` scales the
+/// fabric (2 segments x endpoints/2 hosts; two rings of endpoints/2 ranks);
+/// the default 32 reduces every index formula to the original fixed-size
+/// bench, byte for byte.
 double measure_allreduce_bw(Placement placement, MultipathAlgo algo,
-                            std::uint16_t paths,
+                            std::uint16_t paths, std::uint32_t endpoints = 32,
+                            Fidelity fidelity = Fidelity::kPacket,
                             SimTime control_path_tax = SimTime::zero()) {
   Simulator sim;
+  const std::uint32_t hosts = endpoints / 2;
+  const std::uint32_t ring = endpoints / 2;  // two rings cover all endpoints
   FabricConfig fc;
   fc.segments = 2;
-  fc.hosts_per_segment = 16;
+  fc.hosts_per_segment = hosts;
   fc.rails = 1;
   fc.planes = 1;
   fc.aggs_per_plane = 16;
@@ -43,20 +49,29 @@ double measure_allreduce_bw(Placement placement, MultipathAlgo algo,
   // random-ranking placement exposes and packet spray avoids.
   fc.fabric_link.bandwidth = Bandwidth::gbps(200);
   ClosFabric fabric(sim, fc);
+  auto hybrid = make_fidelity_driver(sim, fabric, fidelity);
+  if (hybrid != nullptr) attach_fluid_spans(*hybrid);
   EngineFleet fleet(sim, fabric);
 
-  // Two concurrent 16-rank rings model co-scheduled tenants fighting for
-  // the aggregation layer.
+  // Two concurrent rings model co-scheduled tenants fighting for the
+  // aggregation layer. Ring AllReduce is pure WRITE traffic, so under
+  // --fidelity=hybrid/fluid the whole run fast-forwards flow-level: no
+  // trigger ever forces a packet zoom, which is what buys the scale-up
+  // wall-clock headroom (docs/HYBRID.md).
   auto ring_ranks = [&](std::uint32_t base) {
     std::vector<EndpointId> out;
-    for (std::uint32_t i = 0; i < 16; ++i) {
+    for (std::uint32_t i = 0; i < ring; ++i) {
       if (placement == Placement::kReranked) {
-        // Reranking co-locates communicating ranks: 8 consecutive ranks per
-        // segment, so only 2 of 16 ring hops cross the aggregation layer.
-        out.push_back(fabric.endpoint(i / 8, (base * 8 + i % 8) % 16, 0, 0));
+        // Reranking co-locates communicating ranks: ring/2 consecutive
+        // ranks per segment, so only 2 ring hops cross the aggregation
+        // layer.
+        out.push_back(fabric.endpoint(
+            i / (ring / 2), (base * (ring / 2) + i % (ring / 2)) % hosts, 0,
+            0));
       } else {
         // Random ranking: every hop crosses segments.
-        out.push_back(fabric.endpoint(i % 2, (base * 4 + i / 2) % 16, 0, 0));
+        out.push_back(fabric.endpoint(
+            i % 2, (base * (ring / 4) + i / 2) % hosts, 0, 0));
       }
     }
     return out;
@@ -103,25 +118,40 @@ int main(int argc, char** argv) {
   // (core/run_shard.h); everything downstream is closed-form on the merged
   // results, so output stays byte-identical for every thread count.
   const std::uint32_t threads = threads_arg(argc, argv);
+  const Fidelity fidelity = fidelity_arg(argc, argv);
+  // --endpoints=N scales the fabric/ring size (default 32 = the paper-shape
+  // bench; the CI scale gate runs 256 to compare hybrid vs packet
+  // wall-clock). Must be a multiple of 4.
+  std::uint32_t endpoints = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--endpoints=", 12) == 0) {
+      const int v = std::atoi(argv[i] + 12);
+      if (v >= 4 && v % 4 == 0) endpoints = static_cast<std::uint32_t>(v);
+    }
+  }
+  std::printf("fidelity: %s  endpoints: %u\n", fidelity_name(fidelity),
+              endpoints);
   double stellar_reranked = 0, cx7_reranked = 0;
   double stellar_random = 0, cx7_random = 0;
   {
     ShardedRunSet runs(threads, 4);
-    runs.add([&stellar_reranked] {
-      stellar_reranked =
-          measure_allreduce_bw(Placement::kReranked, MultipathAlgo::kObs, 128);
+    runs.add([&stellar_reranked, endpoints, fidelity] {
+      stellar_reranked = measure_allreduce_bw(
+          Placement::kReranked, MultipathAlgo::kObs, 128, endpoints, fidelity);
     });
-    runs.add([&cx7_reranked] {
-      cx7_reranked = measure_allreduce_bw(Placement::kReranked,
-                                          MultipathAlgo::kSinglePath, 128);
+    runs.add([&cx7_reranked, endpoints, fidelity] {
+      cx7_reranked =
+          measure_allreduce_bw(Placement::kReranked, MultipathAlgo::kSinglePath,
+                               128, endpoints, fidelity);
     });
-    runs.add([&stellar_random] {
-      stellar_random =
-          measure_allreduce_bw(Placement::kRandom, MultipathAlgo::kObs, 128);
+    runs.add([&stellar_random, endpoints, fidelity] {
+      stellar_random = measure_allreduce_bw(
+          Placement::kRandom, MultipathAlgo::kObs, 128, endpoints, fidelity);
     });
-    runs.add([&cx7_random] {
-      cx7_random = measure_allreduce_bw(Placement::kRandom,
-                                        MultipathAlgo::kSinglePath, 128);
+    runs.add([&cx7_random, endpoints, fidelity] {
+      cx7_random =
+          measure_allreduce_bw(Placement::kRandom, MultipathAlgo::kSinglePath,
+                               128, endpoints, fidelity);
     });
     runs.execute();
   }

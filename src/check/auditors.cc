@@ -27,13 +27,21 @@ void FabricConservationAuditor::audit(AuditReport& report) const {
 #if STELLAR_AUDIT_ENABLED
   std::uint64_t link_drops = 0;
   std::uint64_t held = 0;
+  std::uint64_t absorbed = 0;
   for (const NetLink* link : fabric_->all_links()) {
     link_drops += link->audit_ingress_drops() + link->audit_sink_drops();
     held += link->held_packets();
-    // Per-link sanity: a link can never have released or dropped more
-    // packets than it accepted (held_packets() underflows otherwise).
+    // Packets handed to the fluid model by a hybrid mode switch: not lost
+    // (the transport rewinds their bytes into fluid demand), but no longer
+    // owned by any link — they close the ledger as their own terminal
+    // outcome.
+    absorbed += link->audit_absorbed();
+    // Per-link sanity: a link can never have released, dropped, or
+    // absorbed more packets than it accepted (held_packets() underflows
+    // otherwise).
     report.note_check();
-    if (link->audit_released() + link->audit_sink_drops() >
+    if (link->audit_released() + link->audit_sink_drops() +
+            link->audit_absorbed() >
         link->audit_accepted()) {
       report.fail(name(), "link " + link->name() +
                               " released more packets than it accepted");
@@ -42,7 +50,7 @@ void FabricConservationAuditor::audit(AuditReport& report) const {
   const std::uint64_t injected = fabric_->injected_packets();
   const std::uint64_t accounted = fabric_->delivered_packets() +
                                   fabric_->dropped_no_handler() + link_drops +
-                                  held;
+                                  absorbed + held;
   report.note_check();
   if (injected != accounted) {
     report.fail(name(),
@@ -52,6 +60,7 @@ void FabricConservationAuditor::audit(AuditReport& report) const {
                     " + no-handler=" +
                     std::to_string(fabric_->dropped_no_handler()) +
                     " + link-drops=" + std::to_string(link_drops) +
+                    " + fluid-absorbed=" + std::to_string(absorbed) +
                     " + in-flight=" + std::to_string(held) + " = " +
                     std::to_string(accounted));
   }

@@ -193,6 +193,30 @@ void FaultInjector::note_cleared(const std::string& label) {
 void FaultInjector::execute(const FaultEvent& e) {
   owner_.assert_held();
   ++executed_;
+  // Hybrid fidelity: a fabric-touching fault forces packet-level zoom
+  // before it executes — fluid models stable epochs only, and the outage
+  // must hit real queues/QPs, not an analytic flow. The hold keeps the
+  // promotion logic off for at least the fault's own window. Tenant-storm
+  // and pin-pressure kinds exercise the control/tenant plane, not the
+  // fabric, and stay fluid-compatible.
+  if (HybridDriver* driver = fabric_->hybrid_driver()) {
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+      case FaultKind::kLinkFlap:
+      case FaultKind::kSwitchDown:
+      case FaultKind::kSwitchUp:
+      case FaultKind::kDegrade:
+      case FaultKind::kRnicReset:
+      case FaultKind::kBackendRestart:
+      case FaultKind::kLiveMigrate:
+        driver->force_packet(std::max(e.duration, SimTime::micros(100)),
+                             fault_kind_name(e.kind));
+        break;
+      default:
+        break;
+    }
+  }
   switch (e.kind) {
     case FaultKind::kLinkDown:
       resolve(e.link).set_down(e.drain);

@@ -31,6 +31,8 @@
 
 namespace stellar {
 
+class HybridDriver;  // sim/hybrid.h — attached via set_hybrid_driver()
+
 struct FabricConfig {
   std::uint32_t segments = 2;
   std::uint32_t hosts_per_segment = 16;
@@ -74,6 +76,25 @@ class ClosFabric {
 
   /// Number of distinct physical routes between two endpoints.
   std::uint32_t physical_paths(EndpointId src, EndpointId dst) const;
+
+  /// The exact link sequence packets of (conn_id, path_id) traverse between
+  /// src and dst — the same cached route send() uses. Hybrid fidelity reads
+  /// this to charge a fluid flow's rate against the physical links its
+  /// packet-mode spray would have crossed.
+  const std::vector<NetLink*>& path_links(EndpointId src, EndpointId dst,
+                                          std::uint64_t conn_id,
+                                          std::uint16_t path_id) {
+    return *route_for(src, dst, conn_id, path_id);
+  }
+
+  // -- Hybrid fidelity ---------------------------------------------------------
+
+  /// Attach/detach the hybrid fidelity driver (sim/hybrid.h). Owned by the
+  /// caller; the driver detaches itself on destruction. Transports and the
+  /// fault injector discover it through this hook, so a fabric without a
+  /// driver runs pure packet mode with zero overhead.
+  void set_hybrid_driver(HybridDriver* driver) { hybrid_driver_ = driver; }
+  HybridDriver* hybrid_driver() const { return hybrid_driver_; }
 
   // -- Telemetry / fault injection ---------------------------------------------
 
@@ -166,6 +187,7 @@ class ClosFabric {
 
   std::vector<Handler> handlers_;
   TraceHook trace_;
+  HybridDriver* hybrid_driver_ = nullptr;
   std::unordered_map<std::uint64_t, std::vector<NetLink*>> route_cache_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_no_handler_ = 0;

@@ -161,6 +161,27 @@ void NetLink::set_down(LinkDrainMode mode) {
   account_queue_change(0);
 }
 
+std::uint64_t NetLink::absorb() {
+  if (tx_event_.valid()) {
+    sim_->cancel(tx_event_);
+    tx_event_ = EventHandle{};
+  }
+  busy_ = false;
+  if (delivery_event_.valid()) {
+    sim_->cancel(delivery_event_);
+    delivery_event_ = EventHandle{};
+  }
+  const std::uint64_t n =
+      queue_.size() + control_queue_.size() + inflight_.size();
+  queue_.clear();
+  control_queue_.clear();
+  inflight_.clear();
+  absorbed_packets_ += n;
+  STELLAR_AUDIT_ONLY(audit_absorbed_ += n;)
+  account_queue_change(0);
+  return n;
+}
+
 void NetLink::set_up() {
   if (up_) return;
   up_ = true;
@@ -190,6 +211,7 @@ void NetLink::reset_stats() {
   ecn_marks_ = 0;
   down_drops_ = 0;
   voided_packets_ = 0;
+  absorbed_packets_ = 0;
   queue_integral_ = 0.0;
   last_change_ = sim_->now();
   stats_epoch_ = sim_->now();
@@ -199,7 +221,8 @@ void NetLink::reset_stats() {
   // reset never fakes or leaks packets (ClosFabric::reset_stats() adjusts
   // the fabric-level injected/delivered counters to match).
   STELLAR_AUDIT_ONLY(audit_accepted_ = held_packets(); audit_released_ = 0;
-                     audit_sink_drops_ = 0; audit_ingress_drops_ = 0;)
+                     audit_sink_drops_ = 0; audit_ingress_drops_ = 0;
+                     audit_absorbed_ = 0;)
 }
 
 }  // namespace stellar

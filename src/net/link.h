@@ -83,6 +83,20 @@ class NetLink {
   void set_up();
   bool is_up() const { return up_; }
 
+  // -- Hybrid fidelity (packet -> fluid conversion) -------------------------
+
+  /// Atomically hand every packet this link currently owns — queued,
+  /// mid-serialization, or propagating — to the fluid model. The bytes
+  /// live on as fluid flow state (the transport rewinds them into unsent
+  /// demand), so unlike a drop they are not lost; the conservation auditor
+  /// closes the ledger through the absorbed counter. Cancels the pending
+  /// transmission and delivery events and empties all queues. Returns the
+  /// number of packets absorbed.
+  std::uint64_t absorb();
+
+  /// Packets handed to the fluid model by absorb() since the last reset.
+  std::uint64_t absorbed_packets() const { return absorbed_packets_; }
+
   /// Offer a packet to the egress queue. May tail-drop or randomly drop.
   void enqueue(NetPacket&& p);
 
@@ -113,9 +127,10 @@ class NetLink {
   // Epoch counters for the packet-conservation auditor: a packet offered
   // to the link is either rejected at ingress (audit_ingress_drops), or
   // accepted and later exactly one of released downstream
-  // (audit_released) or destroyed — for lack of a sink, or voided by a
-  // link-down (audit_sink_drops). Packets currently owned by the link
-  // (queued, serializing, or propagating) are the difference.
+  // (audit_released), destroyed — for lack of a sink, or voided by a
+  // link-down (audit_sink_drops) — or handed to the fluid model by a
+  // hybrid mode switch (audit_absorbed). Packets currently owned by the
+  // link (queued, serializing, or propagating) are the difference.
   //
   // reset_stats() re-baselines the epoch without breaking conservation:
   // accepted collapses to the packets still held, the outcome counters go
@@ -126,8 +141,10 @@ class NetLink {
   std::uint64_t audit_released() const { return audit_released_; }
   std::uint64_t audit_ingress_drops() const { return audit_ingress_drops_; }
   std::uint64_t audit_sink_drops() const { return audit_sink_drops_; }
+  std::uint64_t audit_absorbed() const { return audit_absorbed_; }
   std::uint64_t held_packets() const {
-    return audit_accepted_ - audit_released_ - audit_sink_drops_;
+    return audit_accepted_ - audit_released_ - audit_sink_drops_ -
+           audit_absorbed_;
   }
 
  private:
@@ -180,6 +197,7 @@ class NetLink {
   std::uint64_t ecn_marks_ = 0;
   std::uint64_t down_drops_ = 0;
   std::uint64_t voided_packets_ = 0;
+  std::uint64_t absorbed_packets_ = 0;
 
   // Integral of queue_bytes over time, for the time-weighted mean.
   double queue_integral_ = 0.0;     // byte-seconds
@@ -192,6 +210,7 @@ class NetLink {
   std::uint64_t audit_released_ = 0;
   std::uint64_t audit_ingress_drops_ = 0;
   std::uint64_t audit_sink_drops_ = 0;
+  std::uint64_t audit_absorbed_ = 0;
 };
 
 }  // namespace stellar

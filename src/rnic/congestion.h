@@ -28,6 +28,12 @@ class CongestionControl {
   virtual void on_timeout() = 0;
   virtual std::uint64_t window() const = 0;
 
+  /// Hybrid fidelity thaw: seed the window directly from the fluid rate
+  /// (rate * base RTT), clamped to the algorithm's window bounds, so packet
+  /// mode resumes near the max-min operating point instead of re-probing
+  /// from init_window. Default: no-op (algorithm keeps its current window).
+  virtual void seed_window(std::uint64_t bytes) { (void)bytes; }
+
   /// Checkpoint/restore of the mutable CC context (the config is rebuilt by
   /// the owner, which serializes its TransportConfig separately). restore()
   /// must accept exactly the bytes save() produced for the same algorithm.
@@ -106,6 +112,13 @@ class WindowCc final : public CongestionControl {
                                    config_.timeout_backoff));
   }
 
+  void seed_window(std::uint64_t bytes) override {
+    window_ = std::clamp(bytes, config_.min_window, config_.max_window);
+    // A fresh operating point invalidates the marked-fraction history.
+    alpha_ = 0.0;
+    acked_since_rtt_cut_ = 0;
+  }
+
   void save(SnapshotWriter& w) const override {
     w.u64(window_);
     w.f64(alpha_);
@@ -179,6 +192,11 @@ class SwiftCc final : public CongestionControl {
         config_.min_window,
         static_cast<std::uint64_t>(static_cast<double>(window_) *
                                    config_.timeout_backoff));
+  }
+
+  void seed_window(std::uint64_t bytes) override {
+    window_ = std::clamp(bytes, config_.min_window, config_.max_window);
+    acked_since_cut_ = 0;
   }
 
   void save(SnapshotWriter& w) const override {

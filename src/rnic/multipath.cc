@@ -33,6 +33,10 @@ class SinglePath final : public PathSelector {
       : n_(n), fixed_(static_cast<std::uint16_t>(hash_mix(seed) % n)) {}
   std::uint16_t pick() override { return fixed_; }
   std::uint16_t num_paths() const override { return n_; }
+  void fluid_path_weights(std::vector<double>& weights) const override {
+    weights.assign(n_, 0.0);
+    weights[fixed_] = 1.0;
+  }
 
  private:
   std::uint16_t n_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -62,6 +63,14 @@ class PathSelector {
 
   /// Feedback from a retransmission timeout on `path`.
   virtual void on_timeout(std::uint16_t path) { (void)path; }
+
+  /// Hybrid fidelity: long-run fraction of packets this selector would put
+  /// on each path id, used to weight a fluid flow's footprint on the link
+  /// graph. Spraying selectors are uniform in the long run (the default);
+  /// SinglePath concentrates everything on its fixed path.
+  virtual void fluid_path_weights(std::vector<double>& weights) const {
+    weights.assign(num_paths(), 1.0 / static_cast<double>(num_paths()));
+  }
 
   virtual std::uint16_t num_paths() const = 0;
 

@@ -19,6 +19,18 @@ RdmaConnection::RdmaConnection(RdmaEngine& engine, std::uint64_t id,
       local_(local),
       remote_(remote) {
   rebuild_from_config();
+  // Hybrid fidelity: connections created while a driver is attached are
+  // fluid clients from birth — if the region is already in fluid mode the
+  // driver freezes them immediately (a trivial freeze: nothing in flight).
+  if (HybridDriver* driver = hybrid_driver()) driver->register_client(this);
+}
+
+RdmaConnection::~RdmaConnection() {
+  if (HybridDriver* driver = hybrid_driver()) driver->unregister_client(this);
+}
+
+HybridDriver* RdmaConnection::hybrid_driver() const {
+  return engine_.fabric_->hybrid_driver();
 }
 
 void RdmaConnection::rebuild_from_config() {
@@ -83,6 +95,17 @@ std::uint64_t RdmaConnection::enqueue_message(std::uint64_t bytes,
                      obs::count("transport/bytes_posted", bytes);)
   messages_.emplace(msg_id, std::move(msg));
   unsent_queue_.push_back(msg_id);
+  if (fluid_) {
+    // Under fluid service no packet is built. A WRITE joins the flow's
+    // analytic demand; anything else (SEND/READ) zooms the region back to
+    // packet mode, which thaws this connection and re-runs send_more.
+    if (kind == PacketKind::kWrite) {
+      hybrid_driver()->on_fluid_post(this);
+    } else {
+      hybrid_driver()->on_ineligible_post(this);
+    }
+    return msg_id;
+  }
   send_more();
   return msg_id;
 }
@@ -425,6 +448,13 @@ void RdmaConnection::enter_error(Status reason) {
   for (auto& [path, handle] : probe_events_) sim.cancel(handle);
   probe_events_.clear();
 
+  // A frozen QP dying takes its flow out of the solver; the driver never
+  // re-freezes it (dead clients are skipped at every future freeze).
+  if (fluid_) {
+    fluid_ = false;
+    if (HybridDriver* driver = hybrid_driver()) driver->on_client_error(this);
+  }
+
   // Exactly-once: move the handler out before invoking, so a re-entrant
   // enter_error (or a later set_on_error) can never fire it a second time.
   if (on_error_) {
@@ -435,12 +465,181 @@ void RdmaConnection::enter_error(Status reason) {
 }
 
 // ---------------------------------------------------------------------------
+// RdmaConnection: FluidClient (hybrid fidelity)
+// ---------------------------------------------------------------------------
+
+bool RdmaConnection::fluid_eligible() const {
+  if (error_) return false;
+  // stellar-lint: allow(unordered-iter) order-insensitive: computes one
+  // all-WRITEs boolean; no per-element emission or scheduling.
+  for (const auto& [id, msg] : messages_) {
+    if (msg.kind != PacketKind::kWrite) return false;
+  }
+  return true;
+}
+
+FluidFlowDesc RdmaConnection::fluid_freeze() {
+  // No packets exist under fluid service: nothing can time out, so timers
+  // and probes go quiet (the same teardown a hot restart performs).
+  Simulator& sim = engine_.simulator();
+  if (rto_event_.valid()) {
+    sim.cancel(rto_event_);
+    rto_event_ = EventHandle{};
+  }
+  for (auto& [path, handle] : probe_events_) sim.cancel(handle);
+  probe_events_.clear();
+
+  // Rewind unacked wire bytes into unsent demand. The packets the links
+  // absorbed carried exactly the bytes in [acked, sent) of each message;
+  // those bytes continue as fluid flow state, so the conversion is
+  // loss-free and the conservation ledger closes (absorbed is a terminal
+  // packet outcome, the payload lives on in the flow).
+  outstanding_.clear();
+  inflight_bytes_ = 0;
+  if (config_.per_path_cc) per_path_inflight_.assign(config_.num_paths, 0);
+  unsent_queue_.clear();
+  FluidFlowDesc desc;
+  for (const std::uint64_t msg_id : sorted_keys(messages_)) {
+    Message& msg = messages_.at(msg_id);
+    msg.sent = msg.acked;
+    if (msg.sent < msg.total) {
+      unsent_queue_.push_back(msg_id);
+      desc.remaining += msg.total - msg.acked;
+    }
+  }
+  fluid_ = true;
+
+  // Footprint on the link graph: the selector's long-run path weights
+  // mapped over each path's route, links merged in first-encounter order
+  // so the share vector is identical run to run (never pointer order).
+  std::vector<double> weights;
+  selector_->fluid_path_weights(weights);
+  std::unordered_map<const NetLink*, std::size_t> index;
+  for (std::size_t path = 0; path < weights.size(); ++path) {
+    if (weights[path] <= 0.0) continue;
+    for (const NetLink* link : engine_.fabric().path_links(
+             local_, remote_, id_, static_cast<std::uint16_t>(path))) {
+      auto [it, inserted] = index.emplace(link, desc.shares.size());
+      if (inserted) {
+        desc.shares.emplace_back(link, weights[path]);
+      } else {
+        desc.shares[it->second].second += weights[path];
+      }
+    }
+  }
+  return desc;
+}
+
+void RdmaConnection::fluid_thaw(double rate_bytes_per_sec) {
+  fluid_ = false;
+  if (error_) return;
+  // Sync fluid-served prefixes to the receiver. Bytes served under fluid
+  // never travel as packets, so a message that straddles the epoch would
+  // otherwise stall at the receiver: its packet-mode tail alone can never
+  // reach msg_bytes, and both the completion and the goodput would vanish.
+  for (const std::uint64_t msg_id : unsent_queue_) {
+    const Message& msg = messages_.at(msg_id);
+    if (msg.acked == 0) continue;
+    engine_.fluid_deliver_remote(
+        remote_, FluidDelivery{id_, msg.id, msg.acked, msg.tag, local_},
+        /*advance=*/true);
+  }
+  if (rate_bytes_per_sec > 0.0) {
+    // Seed the window at the fluid operating point: rate * base RTT is the
+    // BDP of the assigned max-min share; twice that leaves the bottleneck
+    // queue (not the window) pacing the first RTTs while CC re-converges.
+    const auto seed = static_cast<std::uint64_t>(
+        rate_bytes_per_sec * config_.cc.base_rtt.sec() * 2.0);
+    if (!config_.per_path_cc) {
+      cc_->seed_window(seed);
+    } else {
+      const std::uint64_t per_path =
+          std::max<std::uint64_t>(1, seed / config_.num_paths);
+      for (auto& cc : per_path_cc_) cc->seed_window(per_path);
+    }
+  }
+  send_more();
+}
+
+std::uint64_t RdmaConnection::fluid_serve(std::uint64_t bytes) {
+  std::uint64_t served = 0;
+  while (served < bytes && !unsent_queue_.empty()) {
+    Message& msg = messages_.at(unsent_queue_.front());
+    // A non-WRITE at the head means a zoom is already pending for this
+    // region (on_ineligible_post); stop serving at the boundary.
+    if (msg.kind != PacketKind::kWrite) break;
+    const std::uint64_t take =
+        std::min(msg.total - msg.acked, bytes - served);
+    msg.acked += take;
+    msg.sent = msg.acked;  // nothing is ever in flight under fluid
+    served += take;
+    if (msg.acked >= msg.total) {
+      unsent_queue_.pop_front();
+      fluid_complete_message(msg);  // erases msg from messages_
+    }
+  }
+  return served;
+}
+
+void RdmaConnection::fluid_complete_message(Message& msg) {
+  completed_bytes_ += msg.total;
+  ++completed_messages_;
+  STELLAR_TRACE_ONLY(
+      const SimTime now = engine_.simulator().now();
+      obs::count("transport/messages_completed");
+      obs::record_time("transport/msg_latency_ps", now - msg.posted_at);
+      obs::complete(obs::TraceCat::kTransport, "message", msg.posted_at,
+                    now - msg.posted_at,
+                    obs::TraceArgs{
+                        "conn", static_cast<std::int64_t>(id_), "msg",
+                        static_cast<std::int64_t>(msg.id), "bytes",
+                        static_cast<std::int64_t>(msg.total)});)
+  // Receiver first, then the sender completion — the order packet mode
+  // produces (the final ACK only departs after the final payload landed).
+  engine_.fluid_deliver_remote(
+      remote_, FluidDelivery{id_, msg.id, msg.total, msg.tag, local_});
+  Completion cb = std::move(msg.on_complete);
+  messages_.erase(msg.id);  // invalidates msg
+  if (cb) cb();
+}
+
+std::uint64_t RdmaConnection::fluid_remaining() const {
+  std::uint64_t remaining = 0;
+  for (const std::uint64_t msg_id : unsent_queue_) {
+    const Message& msg = messages_.at(msg_id);
+    if (msg.kind != PacketKind::kWrite) break;
+    remaining += msg.total - msg.acked;
+  }
+  return remaining;
+}
+
+std::uint64_t RdmaConnection::fluid_next_completion_bytes() const {
+  if (unsent_queue_.empty()) return 0;
+  const Message& msg = messages_.at(unsent_queue_.front());
+  if (msg.kind != PacketKind::kWrite) return 0;
+  return msg.total - msg.acked;
+}
+
+// ---------------------------------------------------------------------------
 // RdmaEngine
 // ---------------------------------------------------------------------------
 
 RdmaEngine::RdmaEngine(Simulator& sim, ClosFabric& fabric, EndpointId self)
     : sim_(&sim), fabric_(&fabric), self_(self) {
   fabric_->set_handler(self_, [this](NetPacket&& p) { on_packet(std::move(p)); });
+  if (HybridDriver* driver = fabric_->hybrid_driver()) {
+    driver->register_receiver(self_, this);
+  }
+}
+
+RdmaEngine::~RdmaEngine() {
+  // The connections' dtors (members, destroyed after this body) also talk
+  // to the driver, so a driver attached at construction must still be
+  // attached here — benches create the HybridDriver before any engine and
+  // destroy it after them.
+  if (HybridDriver* driver = fabric_->hybrid_driver()) {
+    driver->unregister_receiver(self_);
+  }
 }
 
 StatusOr<RdmaConnection*> RdmaEngine::connect(EndpointId remote,
@@ -559,6 +758,20 @@ void RdmaEngine::handle_data(NetPacket&& p) {
     return;
   }
 
+  if (fabric_->hybrid_driver() != nullptr) {
+    auto done = rx_completed_.find(p.conn_id);
+    if (done != rx_completed_.end() && done->second.contains(p.msg_id)) {
+      // The message already completed via a fluid delivery and the sender
+      // re-sent part of it after a thaw: a duplicate at message
+      // granularity. ACK it (the sender still needs to retire its copy)
+      // without re-crediting goodput or re-creating reassembly state.
+      ++rx_duplicates_;
+      STELLAR_TRACE_ONLY(obs::count("transport/rx_duplicates");)
+      send_ack(p);
+      return;
+    }
+  }
+
   rx_goodput_bytes_ += p.payload;
   STELLAR_TRACE_ONLY(obs::count("transport/rx_goodput_bytes", p.payload);)
   RxMessageState& msg = state.messages[p.msg_id];
@@ -569,6 +782,12 @@ void RdmaEngine::handle_data(NetPacket&& p) {
 
   if (complete) {
     state.messages.erase(p.msg_id);
+    if (fabric_->hybrid_driver() != nullptr) {
+      // Ledger for cross-mode double-delivery suppression: if this
+      // message's ACKs are absorbed at a future freeze, the sender's fluid
+      // re-serve must not complete it at the receiver a second time.
+      rx_completed_[p.conn_id].mark(p.msg_id);
+    }
     deliver_message(
         RxMessage{p.conn_id, p.msg_id, p.msg_bytes, p.msg_tag, p.src, p.kind});
   }
@@ -605,6 +824,65 @@ void RdmaEngine::deliver_message(const RxMessage& rx) {
   } else if (message_handler_) {
     message_handler_(rx);
   }
+}
+
+void RdmaEngine::fluid_deliver_remote(EndpointId remote,
+                                      const FluidDelivery& delivery,
+                                      bool advance) {
+  HybridDriver* driver = fabric_->hybrid_driver();
+  FluidReceiver* rx = driver == nullptr ? nullptr : driver->receiver(remote);
+  if (rx == nullptr) {
+    // Fluid analogue of the fabric's dropped_no_handler: the destination
+    // endpoint never attached an engine.
+    ++fluid_undeliverable_;
+    return;
+  }
+  if (advance) {
+    rx->fluid_advance(delivery);
+  } else {
+    rx->fluid_deliver(delivery);
+  }
+}
+
+void RdmaEngine::fluid_advance(const FluidDelivery& delivery) {
+  if (rx_completed_[delivery.conn_id].contains(delivery.msg_id)) {
+    // Completed here in packet mode pre-freeze; the sender's view lags.
+    return;
+  }
+  RxMessageState& msg = rx_[delivery.conn_id].messages[delivery.msg_id];
+  if (delivery.bytes <= msg.received) return;  // receiver is already ahead
+  const std::uint64_t fresh = delivery.bytes - msg.received;
+  msg.received = delivery.bytes;
+  rx_goodput_bytes_ += fresh;
+  STELLAR_TRACE_ONLY(obs::count("transport/rx_goodput_bytes", fresh);)
+}
+
+void RdmaEngine::fluid_deliver(const FluidDelivery& delivery) {
+  RxCompleted& ledger = rx_completed_[delivery.conn_id];
+  if (ledger.contains(delivery.msg_id)) {
+    // Completed in packet mode before the freeze (its ACKs were absorbed
+    // mid-flight); the fluid re-serve is the duplicate, not the original.
+    return;
+  }
+  ledger.mark(delivery.msg_id);
+
+  // Goodput compensation: credit only the bytes packet mode had not yet
+  // placed, and retire the partial reassembly state the placed bytes left.
+  std::uint64_t already = 0;
+  auto rx_it = rx_.find(delivery.conn_id);
+  if (rx_it != rx_.end()) {
+    auto partial = rx_it->second.messages.find(delivery.msg_id);
+    if (partial != rx_it->second.messages.end()) {
+      already = partial->second.received;
+      rx_it->second.messages.erase(partial);
+    }
+  }
+  const std::uint64_t fresh =
+      delivery.bytes > already ? delivery.bytes - already : 0;
+  rx_goodput_bytes_ += fresh;
+  STELLAR_TRACE_ONLY(obs::count("transport/rx_goodput_bytes", fresh);)
+  deliver_message(RxMessage{delivery.conn_id, delivery.msg_id, delivery.bytes,
+                            delivery.tag, delivery.src, PacketKind::kWrite});
 }
 
 void RdmaEngine::serve_read_request(const NetPacket& p) {

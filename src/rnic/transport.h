@@ -30,6 +30,7 @@
 #include "net/fabric.h"
 #include "rnic/congestion.h"
 #include "rnic/multipath.h"
+#include "sim/hybrid.h"
 #include "sim/simulator.h"
 
 namespace stellar {
@@ -79,7 +80,13 @@ struct TransportConfig {
 class RdmaEngine;
 
 /// Sender-side connection state. Created via RdmaEngine::connect().
-class RdmaConnection {
+///
+/// Implements FluidClient (sim/hybrid.h): when the connection's fabric
+/// region is in fluid mode, posted WRITEs are served analytically at the
+/// max-min rate instead of being packetized — freeze rewinds unacked wire
+/// bytes into unsent demand, thaw seeds the congestion window from the
+/// fluid rate and resumes packet transmission.
+class RdmaConnection : public FluidClient {
  public:
   using Completion = std::function<void()>;
   using ErrorHandler = std::function<void(const Status&)>;
@@ -151,6 +158,23 @@ class RdmaConnection {
   const CongestionControl& cc() const { return *cc_; }
   PathSelector& selector() { return *selector_; }
 
+  // -- FluidClient (hybrid fidelity; called by HybridDriver) ----------------
+
+  std::uint64_t fluid_conn_id() const override { return id_; }
+  EndpointId fluid_endpoint() const override { return local_; }
+  bool fluid_eligible() const override;
+  bool fluid_errored() const override { return error_; }
+  FluidFlowDesc fluid_freeze() override;
+  void fluid_thaw(double rate_bytes_per_sec) override;
+  std::uint64_t fluid_serve(std::uint64_t bytes) override;
+  std::uint64_t fluid_remaining() const override;
+  std::uint64_t fluid_next_completion_bytes() const override;
+  std::uint64_t fluid_retransmit_count() const override {
+    return retransmits_;
+  }
+
+  ~RdmaConnection() override;
+
  private:
   friend class RdmaEngine;
   friend class TransportAuditor;    // reads QP state for invariant audits
@@ -199,6 +223,12 @@ class RdmaConnection {
 
   std::uint64_t enqueue_message(std::uint64_t bytes, PacketKind kind,
                                 std::uint32_t tag, Completion on_complete);
+
+  /// The hybrid driver attached to the fabric, or nullptr (pure packet).
+  HybridDriver* hybrid_driver() const;
+  /// Complete one message under fluid service: receiver delivery first,
+  /// then the sender completion — the same order packet mode produces.
+  void fluid_complete_message(Message& msg);
 
   /// Checkpoint/restore of the full sender-side QP context (config, PSN
   /// space, unacked packets, queued messages, CC state, blacklists).
@@ -269,6 +299,9 @@ class RdmaConnection {
   bool error_ = false;
   Status error_status_;
   ErrorHandler on_error_;
+  /// True while this connection's region is in fluid mode (set by
+  /// fluid_freeze, cleared by fluid_thaw / enter_error).
+  bool fluid_ = false;
 };
 
 /// Message observed complete at the receiver (all payload bytes placed).
@@ -283,12 +316,18 @@ struct RxMessage {
 
 /// Per-endpoint transport engine: owns sender connections and all
 /// receiver-side state, and is registered as the endpoint's packet handler.
-class RdmaEngine {
+///
+/// Implements FluidReceiver: whole-message fluid deliveries land through
+/// the same deliver_message() path packet completions use, with goodput
+/// compensation for partially received messages and a completed-message
+/// ledger that suppresses double delivery across mode boundaries.
+class RdmaEngine : public FluidReceiver {
  public:
   using MessageHandler = std::function<void(const RxMessage&)>;
   using RecvHandler = std::function<void(const RxMessage&)>;
 
   RdmaEngine(Simulator& sim, ClosFabric& fabric, EndpointId self);
+  ~RdmaEngine() override;
 
   RdmaEngine(const RdmaEngine&) = delete;
   RdmaEngine& operator=(const RdmaEngine&) = delete;
@@ -403,6 +442,22 @@ class RdmaEngine {
   void quiesce(SimTime window);
   std::uint64_t quiesce_drops() const { return quiesce_drops_; }
 
+  // -- FluidReceiver (hybrid fidelity) --------------------------------------
+
+  /// Whole-message delivery from a fluid-served sender. Skipped if the
+  /// message already completed in packet mode (its ACKs were mid-flight at
+  /// freeze); otherwise credits only the not-yet-received bytes as goodput
+  /// and fires the normal receiver completion path.
+  void fluid_deliver(const FluidDelivery& delivery) override;
+  /// Thaw-time sync of a fluid-served prefix: raises the message's
+  /// reassembly watermark to the sender's served byte count and credits the
+  /// delta as goodput, so a message that straddles a fluid epoch still
+  /// completes when its packet-mode tail lands.
+  void fluid_advance(const FluidDelivery& delivery) override;
+  /// Fluid deliveries dropped because the destination endpoint has no
+  /// registered engine (the fluid analogue of dropped_no_handler).
+  std::uint64_t fluid_undeliverable() const { return fluid_undeliverable_; }
+
  private:
   friend class RdmaConnection;
   friend class TransportAuditor;    // reads receiver PSN state for audits
@@ -438,6 +493,32 @@ class RdmaEngine {
     std::deque<RxMessage> unexpected;
   };
 
+  // Receiver-side ledger of completed message ids per connection, with a
+  // compacting floor (message ids are per-connection monotonic and complete
+  // near-in-order, so the above-floor set stays tiny). Consulted by
+  // fluid_deliver to suppress double delivery of a message that completed
+  // in packet mode but whose ACKs were absorbed at freeze — the sender
+  // re-serves its unacked bytes in fluid, and without the ledger the
+  // receiver completion (and goodput) would fire twice. Maintained only
+  // while a hybrid driver is attached.
+  struct RxCompleted {
+    std::uint64_t floor = 0;
+    std::unordered_set<std::uint64_t> above;
+    void mark(std::uint64_t id) {
+      if (id < floor) return;
+      above.insert(id);
+      while (above.erase(floor) != 0) ++floor;
+    }
+    bool contains(std::uint64_t id) const {
+      return id < floor || above.count(id) != 0;
+    }
+  };
+
+  /// Route a fluid delivery (or, with `advance`, a thaw-time partial
+  /// progress sync) to the remote endpoint's engine.
+  void fluid_deliver_remote(EndpointId remote, const FluidDelivery& delivery,
+                            bool advance = false);
+
   void on_packet(NetPacket&& p);
   void handle_data(NetPacket&& p);
   /// Deserialize engine + connection state (shared by restore_state and
@@ -458,6 +539,8 @@ class RdmaEngine {
   std::vector<std::unique_ptr<RdmaConnection>> connections_;
   std::unordered_map<std::uint64_t, RdmaConnection*> by_id_;
   std::unordered_map<std::uint64_t, RxState> rx_;
+  std::unordered_map<std::uint64_t, RxCompleted> rx_completed_;
+  std::uint64_t fluid_undeliverable_ = 0;
   MessageHandler message_handler_;
   std::unordered_map<std::uint64_t, MessageHandler> conn_handlers_;
   std::unordered_map<std::uint64_t, RecvQueue> recv_queues_;

@@ -1,0 +1,177 @@
+#include "sim/fluid.h"
+
+#include <limits>
+
+namespace stellar {
+
+std::uint32_t FluidSolver::add_flow(std::vector<LinkShare> shares) {
+  STELLAR_CHECK(!shares.empty(), "fluid flow must cross at least one link");
+  for (const LinkShare& s : shares) {
+    STELLAR_CHECK(s.link < links_.size(), "fluid flow references unknown link");
+    STELLAR_CHECK(s.weight > 0.0, "fluid link share weight must be positive");
+  }
+  ++active_count_;
+  if (!free_ids_.empty()) {
+    const std::uint32_t id = free_ids_.back();
+    free_ids_.pop_back();
+    flows_[id] = Flow{std::move(shares), 0.0, true};
+    return id;
+  }
+  flows_.push_back(Flow{std::move(shares), 0.0, true});
+  return static_cast<std::uint32_t>(flows_.size() - 1);
+}
+
+void FluidSolver::remove_flow(std::uint32_t flow) {
+  Flow& f = flows_.at(flow);
+  STELLAR_CHECK(f.active, "removing an inactive fluid flow");
+  f.active = false;
+  f.rate = 0.0;
+  f.shares.clear();
+  f.shares.shrink_to_fit();
+  --active_count_;
+  free_ids_.push_back(flow);
+}
+
+double FluidSolver::rate(std::uint32_t flow) const {
+  const Flow& f = flows_.at(flow);
+  STELLAR_CHECK(f.active, "querying rate of an inactive fluid flow");
+  return f.rate;
+}
+
+std::vector<std::uint32_t> FluidSolver::flow_ids() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(active_count_);
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].active) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+void FluidSolver::solve() {
+  const std::size_t nl = links_.size();
+  for (Link& l : links_) l.load = 0.0;
+  if (active_count_ == 0) return;
+
+  // Per-link residual capacity and total unfrozen weight. Iteration order
+  // is strictly by index, so the floating-point accumulation order — and
+  // therefore every derived rate — is identical across runs.
+  std::vector<double> residual(nl);
+  std::vector<double> unfrozen_weight(nl, 0.0);
+  // Integer crossing counts decide whether a link still constrains anyone:
+  // the float weight sum can retain a tiny residue after its last flow
+  // froze (subtractive cancellation), which would otherwise let a spent
+  // link masquerade as the bottleneck that nobody crosses.
+  std::vector<std::uint32_t> unfrozen_count(nl, 0);
+  for (std::size_t l = 0; l < nl; ++l) residual[l] = links_[l].capacity;
+
+  std::vector<std::uint32_t> active_flows;
+  active_flows.reserve(active_count_);
+  std::size_t total_shares = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (!flows_[i].active) continue;
+    active_flows.push_back(static_cast<std::uint32_t>(i));
+    total_shares += flows_[i].shares.size();
+    for (const LinkShare& s : flows_[i].shares) {
+      unfrozen_weight[s.link] += s.weight;
+      ++unfrozen_count[s.link];
+    }
+  }
+
+  // Inverted index (CSR): for each link, the flows crossing it in flow-index
+  // order. Freezing then walks only the bottleneck links' crossing lists
+  // instead of rescanning every unfrozen flow's shares each round, which
+  // turns the per-solve cost from O(rounds * flows * shares) into
+  // O(flows * shares + rounds * active_links).
+  std::vector<std::size_t> csr_pos(nl + 1, 0);
+  for (std::uint32_t fid : active_flows) {
+    for (const LinkShare& s : flows_[fid].shares) ++csr_pos[s.link + 1];
+  }
+  for (std::size_t l = 0; l < nl; ++l) csr_pos[l + 1] += csr_pos[l];
+  std::vector<std::uint32_t> csr_flows(total_shares);
+  {
+    std::vector<std::size_t> fill(csr_pos.begin(), csr_pos.end() - 1);
+    for (std::uint32_t fid : active_flows) {
+      for (const LinkShare& s : flows_[fid].shares) {
+        csr_flows[fill[s.link]++] = fid;
+      }
+    }
+  }
+
+  // Links with any unfrozen flow, in index order; compacted as they drain
+  // so later rounds scan progressively fewer links.
+  std::vector<std::uint32_t> active_links;
+  active_links.reserve(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (unfrozen_count[l] > 0) {
+      active_links.push_back(static_cast<std::uint32_t>(l));
+    }
+  }
+
+  // Bottleneck matching uses a relative tolerance: links that are equal
+  // bottlenecks in exact arithmetic can differ in the last few ulps once
+  // residuals are updated in different orders, and exact comparison would
+  // then freeze those symmetric groups one link per round instead of all
+  // at once. The tolerance is deterministic (same arithmetic every run)
+  // and the rate perturbation it admits is ~1e-12 relative — far inside
+  // the fluid approximation itself.
+  constexpr double kBottleneckTol = 1e-12;
+
+  // Progressive filling. Each round picks the link(s) with the smallest
+  // attainable common rate, freezes every flow crossing them, and charges
+  // the frozen bandwidth against the residual network.
+  std::vector<char> frozen(flows_.size(), 0);
+  std::size_t remaining = active_flows.size();
+  while (remaining > 0) {
+    double rmin = std::numeric_limits<double>::infinity();
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < active_links.size(); ++k) {
+      const std::uint32_t l = active_links[k];
+      if (unfrozen_count[l] == 0 || unfrozen_weight[l] <= 0.0) continue;
+      active_links[keep++] = l;
+      const double r =
+          residual[l] > 0.0 ? residual[l] / unfrozen_weight[l] : 0.0;
+      if (r < rmin) rmin = r;
+    }
+    active_links.resize(keep);
+    // Every unfrozen flow crosses at least one weighted link, so some link
+    // had unfrozen_weight > 0 and rmin is finite.
+    STELLAR_CHECK(rmin < std::numeric_limits<double>::infinity(),
+                  "fluid solve found no constraining link");
+
+    const double cutoff = rmin + rmin * kBottleneckTol;
+    bool froze_any = false;
+    for (const std::uint32_t l : active_links) {
+      if (unfrozen_count[l] == 0 || unfrozen_weight[l] <= 0.0) continue;
+      const double r =
+          residual[l] > 0.0 ? residual[l] / unfrozen_weight[l] : 0.0;
+      if (r > cutoff) continue;
+      // Bottleneck link: freeze its unfrozen crossing flows at rmin.
+      for (std::size_t i = csr_pos[l]; i < csr_pos[l + 1]; ++i) {
+        const std::uint32_t fid = csr_flows[i];
+        if (frozen[fid]) continue;
+        frozen[fid] = 1;
+        froze_any = true;
+        --remaining;
+        Flow& f = flows_[fid];
+        f.rate = rmin;
+        for (const LinkShare& s : f.shares) {
+          unfrozen_weight[s.link] -= s.weight;
+          --unfrozen_count[s.link];
+          residual[s.link] -= s.weight * rmin;
+          if (residual[s.link] < 0.0) residual[s.link] = 0.0;
+          if (unfrozen_weight[s.link] < 0.0) unfrozen_weight[s.link] = 0.0;
+        }
+      }
+    }
+    STELLAR_CHECK(froze_any, "fluid solve made no progress");
+  }
+
+  for (const Flow& f : flows_) {
+    if (!f.active) continue;
+    for (const LinkShare& s : f.shares) {
+      links_[s.link].load += s.weight * f.rate;
+    }
+  }
+}
+
+}  // namespace stellar

@@ -1,0 +1,99 @@
+// Max-min fair-share fluid solver: the analytic flow-level network model
+// behind hybrid fidelity (docs/HYBRID.md).
+//
+// The solver sees the fabric as abstract capacitated links and flows with
+// fractional per-link weights. A packet-sprayed connection touches a set of
+// egress ports, each with the fraction of its packets the spray policy lands
+// there; the classic water-filling iteration then assigns every flow the
+// max-min fair rate:
+//
+//   maximize the minimum flow rate subject to  sum_f w_{f,l} * r_f <= C_l
+//
+// Progressive filling: all unfrozen flows grow at a common rate; the link
+// that saturates first freezes every flow crossing it at the current level;
+// repeat on the residual network. Each round freezes at least one flow, so
+// the iteration terminates in at most F rounds; a per-link inverted index
+// makes each solve O(total shares + rounds * active links).
+//
+// Determinism: links are iterated in index order and flows in insertion
+// order, every float is derived from the same arithmetic on every run, and
+// the solver never consults pointers, hashes, or clocks — two identical
+// call sequences produce bitwise-identical rates.
+//
+// The solver is pure (src/sim layer: no net/ dependency); HybridDriver
+// (sim/hybrid.h) maps real NetLink objects onto link indices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/check.h"
+
+namespace stellar {
+
+class FluidSolver {
+ public:
+  /// One (link, weight) term of a flow's capacity footprint. `weight` is
+  /// the fraction of the flow's packets that cross this link (1.0 for the
+  /// shared first/last hop, 1/paths per sprayed fabric link).
+  struct LinkShare {
+    std::uint32_t link = 0;
+    double weight = 1.0;
+  };
+
+  /// Register a link; returns its index. Capacity in bytes/second.
+  std::uint32_t add_link(double capacity_bytes_per_sec) {
+    links_.push_back(Link{capacity_bytes_per_sec, 0.0});
+    return static_cast<std::uint32_t>(links_.size() - 1);
+  }
+
+  void set_capacity(std::uint32_t link, double capacity_bytes_per_sec) {
+    links_.at(link).capacity = capacity_bytes_per_sec;
+  }
+  double capacity(std::uint32_t link) const { return links_.at(link).capacity; }
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Register a flow; returns its id. Shares must be non-empty (every flow
+  /// crosses at least its own NIC egress) with positive weights.
+  std::uint32_t add_flow(std::vector<LinkShare> shares);
+
+  /// Remove a departed flow. Its slot (and id) is recycled by a later
+  /// add_flow — long-running churn keeps the flow table at the peak
+  /// concurrent size instead of growing without bound, which matters
+  /// because solve() is linear in the table size. Callers must treat a
+  /// removed id as dead immediately.
+  void remove_flow(std::uint32_t flow);
+
+  std::size_t active_flows() const { return active_count_; }
+
+  /// Recompute max-min rates for the current flow set. Call after any
+  /// add/remove/capacity change and before reading rate().
+  void solve();
+
+  /// Assigned rate (bytes/second) of an active flow, valid after solve().
+  double rate(std::uint32_t flow) const;
+
+  /// Total offered load on a link (sum of weight * rate), from solve().
+  double link_load(std::uint32_t link) const { return links_.at(link).load; }
+
+  /// Active flow ids in insertion order (deterministic iteration surface).
+  std::vector<std::uint32_t> flow_ids() const;
+
+ private:
+  struct Link {
+    double capacity = 0.0;  // bytes/sec
+    double load = 0.0;      // filled by solve()
+  };
+  struct Flow {
+    std::vector<LinkShare> shares;
+    double rate = 0.0;
+    bool active = false;
+  };
+
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;  // indexed by flow id; inactive slots recycled
+  std::vector<std::uint32_t> free_ids_;  // LIFO of recyclable slots
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace stellar

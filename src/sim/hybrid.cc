@@ -1,0 +1,499 @@
+#include "sim/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stellar {
+
+HybridDriver::HybridDriver(Simulator& sim, ClosFabric& fabric,
+                           HybridConfig config)
+    : sim_(&sim), fabric_(&fabric), config_(config) {
+  STELLAR_CHECK(fabric.hybrid_driver() == nullptr,
+                "fabric already has a hybrid driver attached");
+  fabric.set_hybrid_driver(this);
+  const FabricConfig& fc = fabric.config();
+  regions_.resize(static_cast<std::size_t>(fc.rails) * fc.planes);
+  for (std::uint32_t r = 0; r < fc.rails; ++r) {
+    for (std::uint32_t p = 0; p < fc.planes; ++p) {
+      Region& rg = regions_[r * fc.planes + p];
+      // Deterministic link order: host/ToR edge links per (segment, host),
+      // then the aggregation layer per (segment, agg).
+      for (std::uint32_t s = 0; s < fc.segments; ++s) {
+        for (std::uint32_t h = 0; h < fc.hosts_per_segment; ++h) {
+          rg.links.push_back(&fabric.host_uplink(s, h, r, p));
+          rg.links.push_back(&fabric.tor_downlink(s, h, r, p));
+        }
+      }
+      for (std::uint32_t s = 0; s < fc.segments; ++s) {
+        for (std::uint32_t a = 0; a < fc.aggs_per_plane; ++a) {
+          rg.links.push_back(&fabric.tor_uplink(s, r, p, a));
+          rg.links.push_back(&fabric.agg_downlink(a, s, r, p));
+        }
+      }
+      for (NetLink* link : rg.links) {
+        rg.link_index.emplace(
+            link, rg.solver.add_link(
+                      static_cast<double>(link->config().bandwidth.bps()) /
+                      8.0));
+      }
+      rg.span_start = sim.now();
+      rg.last_advance = sim.now();
+      if (config_.start_fluid) rg.mode = RegionMode::kFluid;
+    }
+  }
+}
+
+HybridDriver::~HybridDriver() {
+  for (std::uint32_t r = 0; r < regions_.size(); ++r) {
+    Region& rg = regions_[r];
+    if (rg.advance_event.valid()) {
+      sim_->cancel(rg.advance_event);
+      rg.advance_event = EventHandle{};
+    }
+    emit_span(r, rg, rg.mode);
+  }
+  fabric_->set_hybrid_driver(nullptr);
+}
+
+std::uint32_t HybridDriver::region_of(EndpointId endpoint) const {
+  const ClosFabric::EndpointCoords c = fabric_->coords(endpoint);
+  return c.rail * fabric_->config().planes + c.plane;
+}
+
+void HybridDriver::emit_span(std::uint32_t region, Region& rg,
+                             RegionMode ended) {
+  const SimTime now = sim_->now();
+  if (now > rg.span_start) {
+    if (ended == RegionMode::kFluid) rg.fluid_total += now - rg.span_start;
+    if (span_hook_) span_hook_(region, ended, rg.span_start, now);
+  }
+  rg.span_start = now;
+}
+
+SimTime HybridDriver::fluid_time() const {
+  SimTime total = SimTime::zero();
+  for (const Region& rg : regions_) {
+    total = total + rg.fluid_total;
+    if (rg.mode == RegionMode::kFluid && sim_->now() > rg.span_start) {
+      total = total + (sim_->now() - rg.span_start);
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void HybridDriver::register_client(FluidClient* client) {
+  auto info = std::make_unique<ClientInfo>();
+  ClientInfo* ci = info.get();
+  ci->client = client;
+  ci->region = region_of(client->fluid_endpoint());
+  Region& rg = regions_[ci->region];
+  rg.clients.push_back(ci);
+  info_.emplace(client, std::move(info));
+  if (rg.mode == RegionMode::kFluid) {
+    // Born in fluid: a fresh connection has no packet state, so its freeze
+    // is trivial — it only resolves the link shares its spray would use.
+    FluidFlowDesc desc = client->fluid_freeze();
+    ci->shares.clear();
+    for (const auto& [link, weight] : desc.shares) {
+      auto it = rg.link_index.find(link);
+      STELLAR_CHECK(it != rg.link_index.end(),
+                    "fluid flow references a link outside its region");
+      ci->shares.push_back(FluidSolver::LinkShare{it->second, weight});
+    }
+    ci->in_fluid = true;
+    if (desc.remaining > 0) {
+      ci->flow = rg.solver.add_flow(ci->shares);
+      rg.solve_needed = true;
+      if (!in_advance_) schedule_kick(ci->region);
+    }
+  } else {
+    arm_tick();
+  }
+}
+
+void HybridDriver::unregister_client(FluidClient* client) {
+  auto it = info_.find(client);
+  if (it == info_.end()) return;
+  ClientInfo* ci = it->second.get();
+  Region& rg = regions_[ci->region];
+  if (ci->flow >= 0) {
+    rg.solver.remove_flow(static_cast<std::uint32_t>(ci->flow));
+    rg.solve_needed = true;
+  }
+  rg.clients.erase(std::find(rg.clients.begin(), rg.clients.end(), ci));
+  info_.erase(it);
+}
+
+void HybridDriver::register_receiver(EndpointId endpoint,
+                                     FluidReceiver* receiver) {
+  receivers_[endpoint] = receiver;
+}
+
+void HybridDriver::unregister_receiver(EndpointId endpoint) {
+  receivers_.erase(endpoint);
+}
+
+FluidReceiver* HybridDriver::receiver(EndpointId endpoint) const {
+  auto it = receivers_.find(endpoint);
+  return it == receivers_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Fluid service
+// ---------------------------------------------------------------------------
+
+void HybridDriver::advance_to_now(Region& rg) {
+  const SimTime now = sim_->now();
+  if (now <= rg.last_advance) return;
+  const double dt = (now - rg.last_advance).sec();
+  rg.last_advance = now;
+  in_advance_ = true;
+  for (ClientInfo* ci : rg.clients) {
+    if (!ci->in_fluid || ci->dead || ci->flow < 0) continue;
+    const double rate = rg.solver.rate(static_cast<std::uint32_t>(ci->flow));
+    if (rate <= 0.0) continue;
+    // Integrate rate over the elapsed interval with a fractional-byte
+    // carry, so bytes are conserved exactly across rate-change events.
+    const double earned = rate * dt + ci->carry;
+    const auto want = static_cast<std::uint64_t>(earned);
+    if (want == 0) {
+      ci->carry = earned;
+      continue;
+    }
+    const std::uint64_t served = ci->client->fluid_serve(want);
+    fluid_bytes_served_ += served;
+    ci->carry = served == want ? earned - static_cast<double>(want) : 0.0;
+  }
+  in_advance_ = false;
+}
+
+void HybridDriver::service_region(std::uint32_t region) {
+  Region& rg = regions_[region];
+  if (rg.mode != RegionMode::kFluid) return;
+  advance_to_now(rg);
+  if (rg.pending_zoom) {
+    rg.pending_zoom = false;
+    zoom_region(region, rg.pending_zoom_reason);
+    return;
+  }
+  // Retire drained (or errored) flows.
+  for (ClientInfo* ci : rg.clients) {
+    if (ci->flow < 0) continue;
+    if (ci->dead || ci->client->fluid_remaining() == 0) {
+      rg.solver.remove_flow(static_cast<std::uint32_t>(ci->flow));
+      ci->flow = -1;
+      ci->carry = 0.0;
+      if (!ci->dead) ++fluid_completions_;
+      rg.solve_needed = true;
+    }
+  }
+  if (rg.solve_needed) {
+    rg.solver.solve();
+    rg.solve_needed = false;
+    if (config_.zoom_on_saturation) {
+      bool saturated = false;
+      for (std::uint32_t l = 0; l < rg.links.size(); ++l) {
+        const double cap = rg.solver.capacity(l);
+        if (cap > 0.0 && rg.solver.link_load(l) >= 0.999 * cap) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) {
+        if (++rg.saturated_solves >= config_.saturation_solves) {
+          zoom_region(region, "saturated-bottleneck");
+          return;
+        }
+      } else {
+        rg.saturated_solves = 0;
+      }
+    }
+  }
+  schedule_next(region);
+}
+
+void HybridDriver::schedule_next(std::uint32_t region) {
+  Region& rg = regions_[region];
+  if (rg.advance_event.valid()) {
+    sim_->cancel(rg.advance_event);
+    rg.advance_event = EventHandle{};
+  }
+  const SimTime now = sim_->now();
+  SimTime best = SimTime::max();
+  bool found = false;
+  for (ClientInfo* ci : rg.clients) {
+    if (ci->flow < 0) continue;
+    const double rate = rg.solver.rate(static_cast<std::uint32_t>(ci->flow));
+    if (rate <= 0.0) continue;
+    const std::uint64_t upcoming = ci->client->fluid_next_completion_bytes();
+    if (upcoming == 0) continue;
+    double need = static_cast<double>(upcoming) - ci->carry;
+    if (need < 0.0) need = 0.0;
+    auto dt_ps = static_cast<std::uint64_t>(std::ceil(need * 1e12 / rate));
+    if (dt_ps == 0) dt_ps = 1;
+    const SimTime at = now + SimTime::picos(dt_ps);
+    if (at < best) {
+      best = at;
+      found = true;
+    }
+  }
+  if (!found) return;
+  rg.advance_event = sim_->schedule_at(best, [this, region] {
+    regions_[region].advance_event = EventHandle{};
+    service_region(region);
+  });
+}
+
+void HybridDriver::schedule_kick(std::uint32_t region) {
+  Region& rg = regions_[region];
+  if (rg.kick_scheduled) return;
+  rg.kick_scheduled = true;
+  sim_->schedule_at(sim_->now(), [this, region] {
+    regions_[region].kick_scheduled = false;
+    service_region(region);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Mode transitions
+// ---------------------------------------------------------------------------
+
+void HybridDriver::enter_fluid(std::uint32_t region) {
+  Region& rg = regions_[region];
+  if (rg.mode == RegionMode::kFluid) return;
+  const SimTime now = sim_->now();
+  if (now < hold_until_) return;
+  for (ClientInfo* ci : rg.clients) {
+    if (ci->dead || ci->client->fluid_errored()) continue;
+    if (!ci->client->fluid_eligible()) return;  // stay packet this epoch
+  }
+  // A down link breaks the fluid model's capacity assumptions (flows
+  // across it would stall at rate zero and never complete): packet mode
+  // owns outages — its retransmit/blacklist machinery routes around them.
+  for (const NetLink* link : rg.links) {
+    if (!link->is_up()) return;
+  }
+  // Refresh capacities: degrade faults may have changed link bandwidth
+  // since the region was last fluid.
+  for (std::uint32_t l = 0; l < rg.links.size(); ++l) {
+    rg.solver.set_capacity(
+        l, static_cast<double>(rg.links[l]->config().bandwidth.bps()) / 8.0);
+  }
+  // Absorb every packet the region's links still own into fluid state.
+  for (NetLink* link : rg.links) absorbed_packets_ += link->absorb();
+  for (ClientInfo* ci : rg.clients) {
+    if (ci->dead || ci->client->fluid_errored()) {
+      ci->dead = true;
+      continue;
+    }
+    FluidFlowDesc desc = ci->client->fluid_freeze();
+    ci->shares.clear();
+    for (const auto& [link, weight] : desc.shares) {
+      auto it = rg.link_index.find(link);
+      STELLAR_CHECK(it != rg.link_index.end(),
+                    "fluid flow references a link outside its region");
+      ci->shares.push_back(FluidSolver::LinkShare{it->second, weight});
+    }
+    ci->in_fluid = true;
+    ci->carry = 0.0;
+    if (desc.remaining > 0) ci->flow = rg.solver.add_flow(ci->shares);
+  }
+  emit_span(region, rg, RegionMode::kPacket);
+  rg.mode = RegionMode::kFluid;
+  rg.last_advance = now;
+  rg.saturated_solves = 0;
+  ++transitions_;
+  rg.solver.solve();
+  rg.solve_needed = false;
+  schedule_next(region);
+}
+
+void HybridDriver::zoom_region(std::uint32_t region, const char* reason) {
+  Region& rg = regions_[region];
+  if (rg.mode != RegionMode::kFluid) return;
+  if (in_advance_) {
+    // Mid-serve (a completion callback triggered the zoom): finish the
+    // serve loop first, then zoom at the same timestamp via the kick.
+    rg.pending_zoom = true;
+    rg.pending_zoom_reason = reason;
+    schedule_kick(region);
+    return;
+  }
+  advance_to_now(rg);
+  if (rg.advance_event.valid()) {
+    sim_->cancel(rg.advance_event);
+    rg.advance_event = EventHandle{};
+  }
+  rg.pending_zoom = false;
+  emit_span(region, rg, RegionMode::kFluid);
+  rg.mode = RegionMode::kPacket;
+  ++transitions_;
+  for (ClientInfo* ci : rg.clients) {
+    double rate = 0.0;
+    if (ci->flow >= 0) {
+      rate = rg.solver.rate(static_cast<std::uint32_t>(ci->flow));
+      rg.solver.remove_flow(static_cast<std::uint32_t>(ci->flow));
+      ci->flow = -1;
+    }
+    ci->carry = 0.0;
+    if (ci->in_fluid) {
+      ci->in_fluid = false;
+      // Thaw seeds the congestion window from the fluid rate and calls
+      // send_more(), repopulating real link queues.
+      ci->client->fluid_thaw(rate);
+    }
+  }
+  rg.solve_needed = false;
+  rg.quiet_epochs = 0;
+  // Promotion baselines: only *new* ECN marks / retransmits after the zoom
+  // count against quietness.
+  std::uint64_t ecn = 0;
+  for (const NetLink* link : rg.links) ecn += link->ecn_marks();
+  std::uint64_t retx = 0;
+  for (ClientInfo* ci : rg.clients) {
+    if (!ci->dead) retx += ci->client->fluid_retransmit_count();
+  }
+  rg.last_ecn = ecn;
+  rg.last_retx = retx;
+  (void)reason;
+  arm_tick();
+}
+
+void HybridDriver::force_packet(SimTime hold, const char* reason) {
+  const SimTime until = sim_->now() + hold;
+  if (until > hold_until_) hold_until_ = until;
+  for (std::uint32_t r = 0; r < regions_.size(); ++r) zoom_region(r, reason);
+  arm_tick();
+}
+
+void HybridDriver::request_zoom_window(SimTime start, SimTime end) {
+  if (start <= sim_->now()) {
+    if (end > hold_until_) hold_until_ = end;
+    force_packet(SimTime::zero(), "zoom-window");
+    return;
+  }
+  sim_->schedule_at(start, [this, end] {
+    if (end > hold_until_) hold_until_ = end;
+    force_packet(SimTime::zero(), "zoom-window");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Client notifications
+// ---------------------------------------------------------------------------
+
+void HybridDriver::on_fluid_post(FluidClient* client) {
+  auto it = info_.find(client);
+  if (it == info_.end()) return;
+  ClientInfo* ci = it->second.get();
+  if (!ci->in_fluid || ci->dead) return;
+  Region& rg = regions_[ci->region];
+  if (ci->flow < 0 && ci->client->fluid_remaining() > 0) {
+    ci->flow = rg.solver.add_flow(ci->shares);
+    ci->carry = 0.0;
+    rg.solve_needed = true;
+    if (!in_advance_) schedule_kick(ci->region);
+  }
+  // A post behind an already-active flow queues after the in-service
+  // message: rates and the next completion event are unchanged.
+}
+
+void HybridDriver::on_ineligible_post(FluidClient* client) {
+  auto it = info_.find(client);
+  if (it == info_.end()) return;
+  ClientInfo* ci = it->second.get();
+  if (!ci->in_fluid) return;
+  zoom_region(ci->region, "ineligible-post");
+}
+
+void HybridDriver::on_client_error(FluidClient* client) {
+  auto it = info_.find(client);
+  if (it == info_.end()) return;
+  ClientInfo* ci = it->second.get();
+  ci->dead = true;
+  if (!ci->in_fluid) return;
+  ci->in_fluid = false;
+  Region& rg = regions_[ci->region];
+  if (ci->flow >= 0) {
+    rg.solve_needed = true;
+    // The flow itself is retired by the next service_region pass — it may
+    // currently be mid-iteration in advance_to_now().
+    if (!in_advance_) schedule_kick(ci->region);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Promotion (packet -> fluid) trigger polling
+// ---------------------------------------------------------------------------
+
+void HybridDriver::arm_tick() {
+  if (tick_armed_) return;
+  bool needed = false;
+  for (const Region& rg : regions_) {
+    if (rg.mode != RegionMode::kPacket) continue;
+    for (const ClientInfo* ci : rg.clients) {
+      if (!ci->dead) {
+        needed = true;
+        break;
+      }
+    }
+    if (needed) break;
+  }
+  if (!needed) return;
+  // Never keep an otherwise-drained simulator alive just to poll: when
+  // traffic stops, the tick stops with it.
+  if (sim_->pending_events() == 0) return;
+  tick_armed_ = true;
+  sim_->schedule_after(config_.epoch, [this] { tick(); });
+}
+
+void HybridDriver::tick() {
+  tick_armed_ = false;
+  const SimTime now = sim_->now();
+  for (std::uint32_t r = 0; r < regions_.size(); ++r) {
+    Region& rg = regions_[r];
+    if (rg.mode != RegionMode::kPacket) continue;
+    bool has_live = false;
+    for (const ClientInfo* ci : rg.clients) {
+      if (!ci->dead) {
+        has_live = true;
+        break;
+      }
+    }
+    if (!has_live) continue;
+    std::uint64_t ecn = 0;
+    for (const NetLink* link : rg.links) ecn += link->ecn_marks();
+    std::uint64_t retx = 0;
+    for (const ClientInfo* ci : rg.clients) {
+      if (!ci->dead) retx += ci->client->fluid_retransmit_count();
+    }
+    bool quiet = true;
+    if (config_.poll_triggers) {
+      for (const NetLink* link : rg.links) {
+        if (link->queue_bytes() > config_.zoom_queue_bytes) {
+          quiet = false;
+          break;
+        }
+      }
+      if (ecn != rg.last_ecn || retx != rg.last_retx) quiet = false;
+    }
+    rg.last_ecn = ecn;
+    rg.last_retx = retx;
+    if (now < hold_until_) quiet = false;
+    if (quiet) {
+      ++rg.quiet_epochs;
+    } else {
+      rg.quiet_epochs = 0;
+    }
+    const std::uint32_t need =
+        config_.poll_triggers ? config_.promote_quiet_epochs : 1;
+    if (rg.quiet_epochs >= need) enter_fluid(r);
+  }
+  arm_tick();
+}
+
+}  // namespace stellar

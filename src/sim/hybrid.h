@@ -1,0 +1,257 @@
+// Hybrid fidelity driver: flow-level fast-forward with packet-level zoom
+// (ROADMAP item 2; math and tolerance rationale in docs/HYBRID.md).
+//
+// Each fabric region — one (rail, plane), the unit connections never cross
+// on a rail-optimized fabric — is in one of two modes:
+//
+//   * kPacket: the existing per-packet engine; the driver only watches
+//     trigger counters (queue occupancy, ECN marks, retransmits).
+//   * kFluid: no packets exist. Every connection is a fluid flow served at
+//     the max-min fair rate of FluidSolver over the real link graph, and
+//     the simulator jumps straight between flow-completion events.
+//
+// Transitions are loss-free and deterministic in both directions:
+//
+//   packet -> fluid (freeze): every link absorb()s the packets it owns
+//     (counted by the conservation auditor as their own terminal outcome),
+//     and each transport rewinds unacked wire bytes into unsent demand —
+//     the same bytes continue as fluid flow state. A receiver-side
+//     completion ledger suppresses the double delivery this re-serve
+//     could otherwise cause for messages whose ACKs were mid-flight.
+//   fluid -> packet (thaw): flows stop, each transport's congestion window
+//     is seeded from its fluid rate (rate * base RTT), and send_more()
+//     repopulates real queues.
+//
+// Drop-to-packet triggers: any FaultInjector event touching the fabric, a
+// connection posting work the fluid model cannot serve (SEND/READ, QP
+// error), an explicit zoom window (benches use this to cover measurement
+// or --trace windows), and optionally a persistently saturated bottleneck.
+// Promotion back to fluid requires N consecutive quiet trigger epochs
+// (queues under threshold, no new ECN marks or retransmits).
+//
+// Everything is deterministic: regions, links, and clients are iterated in
+// construction/registration order, rates come from the deterministic
+// solver, and event times are integer picoseconds derived from the same
+// arithmetic on every run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "net/fabric.h"
+#include "net/link.h"
+#include "sim/fluid.h"
+#include "sim/inline_action.h"
+#include "sim/simulator.h"
+
+namespace stellar {
+
+enum class RegionMode : std::uint8_t { kPacket, kFluid };
+
+/// A connection's footprint on the link graph, produced by fluid_freeze().
+/// `shares` lists (link, fraction-of-packets) in deterministic route order
+/// — first-encounter order over path ids, never pointer order.
+struct FluidFlowDesc {
+  std::uint64_t remaining = 0;  // unacked bytes re-served as fluid demand
+  std::vector<std::pair<const NetLink*, double>> shares;
+};
+
+/// Sender side of a connection under fluid service (RdmaConnection).
+class FluidClient {
+ public:
+  virtual ~FluidClient() = default;
+  virtual std::uint64_t fluid_conn_id() const = 0;
+  /// Local endpoint; the driver derives the region from its coordinates.
+  virtual EndpointId fluid_endpoint() const = 0;
+  /// True if every queued message is fluid-servable (WRITE) and the QP is
+  /// healthy. A false answer keeps (or drops) the region in packet mode.
+  virtual bool fluid_eligible() const = 0;
+  /// True once the QP entered its terminal error state. Errored clients
+  /// are skipped at freeze time rather than blocking the whole region.
+  virtual bool fluid_errored() const = 0;
+  /// Convert packet state to fluid state (rewind unacked bytes, cancel
+  /// timers). Called once per freeze; must be valid on a fresh connection.
+  virtual FluidFlowDesc fluid_freeze() = 0;
+  /// Convert back: seed the congestion window from the last fluid rate
+  /// (bytes/sec; 0 = no assigned rate) and resume packet transmission.
+  virtual void fluid_thaw(double rate_bytes_per_sec) = 0;
+  /// Serve up to `bytes` of queued demand, firing receiver-then-sender
+  /// completions exactly as packet mode would. Returns bytes consumed.
+  virtual std::uint64_t fluid_serve(std::uint64_t bytes) = 0;
+  /// Unserved fluid demand in bytes (0 = flow inactive).
+  virtual std::uint64_t fluid_remaining() const = 0;
+  /// Bytes until the in-service message completes (0 = no demand).
+  virtual std::uint64_t fluid_next_completion_bytes() const = 0;
+  /// Cumulative retransmit count — a promotion quietness signal.
+  virtual std::uint64_t fluid_retransmit_count() const = 0;
+};
+
+/// Receiver side (RdmaEngine): accepts a whole-message fluid delivery.
+struct FluidDelivery {
+  std::uint64_t conn_id = 0;
+  std::uint64_t msg_id = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t tag = 0;
+  EndpointId src = 0;
+};
+class FluidReceiver {
+ public:
+  virtual ~FluidReceiver() = default;
+  virtual void fluid_deliver(const FluidDelivery& delivery) = 0;
+  /// Partial-progress sync at thaw. `bytes` is the sender's cumulative
+  /// served prefix of a still-incomplete message: those bytes never travel
+  /// as packets, so the receiver must fold them into its reassembly state
+  /// before the packet-mode tail arrives or the message never completes on
+  /// the receive side.
+  virtual void fluid_advance(const FluidDelivery& delivery) = 0;
+};
+
+struct HybridConfig {
+  /// Regions start in fluid mode (connections created under a fluid region
+  /// are born fluid; their first post never builds packet state).
+  bool start_fluid = true;
+  /// Poll promotion triggers (hybrid fidelity). false = pure fluid
+  /// fidelity: a forced zoom promotes back after one epoch, unconditionally.
+  bool poll_triggers = true;
+  /// Trigger-poll period while any region is in packet mode.
+  SimTime epoch = SimTime::micros(5);
+  /// Promotion requires every region link's queue below this.
+  std::uint64_t zoom_queue_bytes = 256u << 10;
+  /// Consecutive quiet epochs required before promotion.
+  std::uint32_t promote_quiet_epochs = 3;
+  /// Optionally zoom when the solver reports a saturated bottleneck for
+  /// this many consecutive solves (off by default: a max-min bottleneck is
+  /// *stable* congestion, which fluid models exactly; benches zoom via
+  /// explicit windows instead).
+  bool zoom_on_saturation = false;
+  std::uint32_t saturation_solves = 4;
+};
+
+class HybridDriver {
+ public:
+  /// Mode-span observation hook, fired when a region leaves a mode (and at
+  /// driver destruction for the open span). Benches wire this into the
+  /// tracer; the sim layer itself stays obs-free.
+  using SpanHook = InlineFunction<void(std::uint32_t region, RegionMode mode,
+                                       SimTime begin, SimTime end)>;
+
+  HybridDriver(Simulator& sim, ClosFabric& fabric, HybridConfig config = {});
+  ~HybridDriver();
+  HybridDriver(const HybridDriver&) = delete;
+  HybridDriver& operator=(const HybridDriver&) = delete;
+
+  // -- Registration (called by RdmaEngine) ----------------------------------
+
+  void register_client(FluidClient* client);
+  void unregister_client(FluidClient* client);
+  void register_receiver(EndpointId endpoint, FluidReceiver* receiver);
+  void unregister_receiver(EndpointId endpoint);
+  FluidReceiver* receiver(EndpointId endpoint) const;
+
+  // -- Mode control ---------------------------------------------------------
+
+  std::uint32_t region_count() const {
+    return static_cast<std::uint32_t>(regions_.size());
+  }
+  RegionMode region_mode(std::uint32_t region) const {
+    return regions_[region].mode;
+  }
+  RegionMode mode_of(std::uint32_t rail, std::uint32_t plane) const {
+    return regions_[rail * fabric_->config().planes + plane].mode;
+  }
+
+  /// Drop every region to packet mode now and hold promotion off for at
+  /// least `hold`. The FaultInjector calls this for every fabric-touching
+  /// event; safe to call redundantly.
+  void force_packet(SimTime hold, const char* reason);
+
+  /// Explicit packet-fidelity window [start, end): regions zoom at `start`
+  /// and may promote only after `end` (measurement / --trace windows).
+  void request_zoom_window(SimTime start, SimTime end);
+
+  // -- Client notifications (called by the transport) -----------------------
+
+  /// New fluid-servable demand was queued on a frozen connection.
+  void on_fluid_post(FluidClient* client);
+  /// A frozen connection queued work fluid cannot serve — zoom its region.
+  void on_ineligible_post(FluidClient* client);
+  /// A frozen connection entered QP error; its flow leaves the solver.
+  void on_client_error(FluidClient* client);
+
+  void set_span_hook(SpanHook hook) { span_hook_ = std::move(hook); }
+
+  // -- Stats ----------------------------------------------------------------
+
+  std::uint64_t transitions() const { return transitions_; }
+  std::uint64_t absorbed_packets() const { return absorbed_packets_; }
+  std::uint64_t fluid_bytes_served() const { return fluid_bytes_served_; }
+  std::uint64_t fluid_completions() const { return fluid_completions_; }
+  /// Simulated time spent in fluid mode, summed over regions (open spans
+  /// included up to now()).
+  SimTime fluid_time() const;
+
+ private:
+  struct ClientInfo {
+    FluidClient* client = nullptr;
+    std::uint32_t region = 0;
+    bool in_fluid = false;
+    bool dead = false;  // QP error while frozen; never re-frozen
+    std::int64_t flow = -1;
+    double carry = 0.0;  // fractional bytes carried between advances
+    std::vector<FluidSolver::LinkShare> shares;  // resolved at freeze
+  };
+
+  struct Region {
+    RegionMode mode = RegionMode::kPacket;
+    FluidSolver solver;
+    std::vector<NetLink*> links;  // deterministic fabric order
+    std::unordered_map<const NetLink*, std::uint32_t> link_index;  // lookup
+    std::vector<ClientInfo*> clients;  // registration order
+    EventHandle advance_event;
+    SimTime last_advance = SimTime::zero();
+    bool solve_needed = false;
+    bool kick_scheduled = false;
+    bool pending_zoom = false;
+    const char* pending_zoom_reason = "";
+    std::uint32_t quiet_epochs = 0;
+    std::uint32_t saturated_solves = 0;
+    SimTime span_start = SimTime::zero();
+    SimTime fluid_total = SimTime::zero();
+    std::uint64_t last_ecn = 0;
+    std::uint64_t last_retx = 0;
+  };
+
+  std::uint32_t region_of(EndpointId endpoint) const;
+  void enter_fluid(std::uint32_t region);
+  void zoom_region(std::uint32_t region, const char* reason);
+  /// Serve elapsed time, prune finished flows, re-solve, schedule the next
+  /// completion — the single advance path every event funnels through.
+  void service_region(std::uint32_t region);
+  void advance_to_now(Region& rg);
+  void schedule_next(std::uint32_t region);
+  void schedule_kick(std::uint32_t region);
+  void emit_span(std::uint32_t region, Region& rg, RegionMode ended);
+  void arm_tick();
+  void tick();
+
+  Simulator* sim_;
+  ClosFabric* fabric_;
+  HybridConfig config_;
+  std::vector<Region> regions_;
+  std::unordered_map<FluidClient*, std::unique_ptr<ClientInfo>> info_;
+  std::unordered_map<EndpointId, FluidReceiver*> receivers_;
+  SpanHook span_hook_;
+  SimTime hold_until_ = SimTime::zero();
+  bool tick_armed_ = false;
+  bool in_advance_ = false;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t absorbed_packets_ = 0;
+  std::uint64_t fluid_bytes_served_ = 0;
+  std::uint64_t fluid_completions_ = 0;
+};
+
+}  // namespace stellar

@@ -1,0 +1,376 @@
+// Mode-transition fault regressions for the hybrid fidelity engine: a
+// fault landing mid-fluid-epoch must force the region down to packet mode
+// (packet mode owns outages — retransmit/blacklist machinery routes around
+// them), the traffic must still complete exactly once, and the invariant
+// auditors must stay green across every freeze/thaw boundary.
+//
+// Covers the FaultInjector -> HybridDriver::force_packet hook for link
+// failures, whole-switch death, and RNIC resets, plus a mini chaos soak
+// (scripted data-plane plan against a continuously restarting AllReduce
+// under hybrid fidelity) — the transition-path arm of the chaos plan.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "check/auditors.h"
+#include "collective/allreduce.h"
+#include "collective/fleet.h"
+#include "fault/fault.h"
+#include "sim/hybrid.h"
+
+namespace stellar {
+namespace {
+
+FabricConfig small_fabric() {
+  FabricConfig fc;
+  fc.segments = 2;
+  fc.hosts_per_segment = 2;
+  fc.rails = 1;
+  fc.planes = 1;
+  fc.aggs_per_plane = 8;
+  return fc;
+}
+
+/// Auditor registry over everything this file exercises: conservation
+/// (which must close across absorb/thaw boundaries), per-engine transport
+/// legality, and scheduler sanity.
+void add_audits(AuditRegistry& audits, Simulator& sim, ClosFabric& fabric,
+                EngineFleet& fleet) {
+  audits.add(std::make_unique<FabricConservationAuditor>(fabric));
+  audits.add(std::make_unique<SimulatorAuditor>(sim));
+  fleet.for_each_engine([&](RdmaEngine& engine) {
+    audits.add(std::make_unique<TransportAuditor>(engine));
+  });
+}
+
+TEST(HybridFaultTest, LinkDownMidFluidEpochForcesPacketZoom) {
+  Simulator sim;
+  ClosFabric fabric(sim, small_fabric());
+  HybridDriver driver(sim, fabric, HybridConfig{});
+  EngineFleet fleet(sim, fabric);
+
+  TransportConfig t;
+  t.algo = MultipathAlgo::kObs;
+  t.num_paths = 8;
+  auto conn = fleet.connect(fabric.endpoint(0, 0, 0, 0),
+                            fabric.endpoint(1, 0, 0, 0), t);
+  ASSERT_TRUE(conn.is_ok());
+
+  FaultInjector injector(sim, fabric);
+  FaultPlan plan;
+  FaultEvent down;
+  down.at = SimTime::micros(100);
+  down.kind = FaultKind::kLinkDown;
+  down.label = "uplink0";
+  down.link = {LinkLayer::kTorUp, 0, 0, 0, 0};
+  down.drain = LinkDrainMode::kVoid;
+  plan.events.push_back(down);
+  FaultEvent up = down;
+  up.at = SimTime::micros(400);
+  up.kind = FaultKind::kLinkUp;
+  plan.events.push_back(up);
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  // 16 MiB keeps the flow live well past the fault window, so the fault
+  // really lands mid-fluid-epoch.
+  bool done = false;
+  conn.value()->post_write(16_MiB, [&] { done = true; });
+
+  RegionMode at_start = RegionMode::kPacket;
+  RegionMode after_fault = RegionMode::kFluid;
+  RegionMode during_outage = RegionMode::kFluid;
+  sim.schedule_after(SimTime::micros(50),
+                     [&] { at_start = driver.region_mode(0); });
+  sim.schedule_after(SimTime::micros(101),
+                     [&] { after_fault = driver.region_mode(0); });
+  // Long after the hold expired but while the link is still down: the
+  // region must NOT promote back to fluid over a dead link.
+  sim.schedule_after(SimTime::micros(390),
+                     [&] { during_outage = driver.region_mode(0); });
+
+  AuditRegistry audits;
+  add_audits(audits, sim, fabric, fleet);
+  audits.attach_periodic(sim, SimTime::micros(50));
+  sim.run_until(SimTime::millis(10));
+
+  EXPECT_EQ(at_start, RegionMode::kFluid) << "run did not start fluid";
+  EXPECT_EQ(after_fault, RegionMode::kPacket) << "fault did not force zoom";
+  EXPECT_EQ(during_outage, RegionMode::kPacket)
+      << "region promoted to fluid over a down link";
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(conn.value()->status().is_ok());
+  EXPECT_GE(driver.transitions(), 2u);
+  EXPECT_EQ(fleet.at(fabric.endpoint(1, 0, 0, 0)).rx_goodput_bytes(),
+            16_MiB);
+
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_GT(audits.runs(), 0u);
+  EXPECT_EQ(audits.total_findings(), 0u);
+}
+
+TEST(HybridFaultTest, SwitchDeathMidFluidEpochForcesPacketZoom) {
+  Simulator sim;
+  ClosFabric fabric(sim, small_fabric());
+  HybridDriver driver(sim, fabric, HybridConfig{});
+  EngineFleet fleet(sim, fabric);
+
+  TransportConfig t;
+  t.algo = MultipathAlgo::kObs;
+  t.num_paths = 8;
+  auto conn = fleet.connect(fabric.endpoint(0, 1, 0, 0),
+                            fabric.endpoint(1, 1, 0, 0), t);
+  ASSERT_TRUE(conn.is_ok());
+
+  FaultInjector injector(sim, fabric);
+  FaultPlan plan;
+  FaultEvent down;
+  down.at = SimTime::micros(150);
+  down.kind = FaultKind::kSwitchDown;
+  down.label = "agg0";
+  down.sw.is_tor = false;
+  down.sw.agg = 0;
+  plan.events.push_back(down);
+  FaultEvent up = down;
+  up.at = SimTime::millis(2);
+  up.kind = FaultKind::kSwitchUp;
+  plan.events.push_back(up);
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  bool done = false;
+  conn.value()->post_write(16_MiB, [&] { done = true; });
+
+  RegionMode after_fault = RegionMode::kFluid;
+  sim.schedule_after(SimTime::micros(151),
+                     [&] { after_fault = driver.region_mode(0); });
+
+  AuditRegistry audits;
+  add_audits(audits, sim, fabric, fleet);
+  audits.attach_periodic(sim, SimTime::micros(50));
+  sim.run_until(SimTime::millis(10));
+
+  EXPECT_EQ(after_fault, RegionMode::kPacket);
+  EXPECT_TRUE(done) << "collective did not survive the switch death";
+  EXPECT_TRUE(conn.value()->status().is_ok());
+  EXPECT_GE(driver.transitions(), 2u);
+
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(audits.total_findings(), 0u);
+}
+
+TEST(HybridFaultTest, ReceiverRnicResetMidFluidRidesRetransmits) {
+  Simulator sim;
+  ClosFabric fabric(sim, small_fabric());
+  HybridDriver driver(sim, fabric, HybridConfig{});
+  EngineFleet fleet(sim, fabric);
+
+  TransportConfig t;
+  t.algo = MultipathAlgo::kObs;
+  t.num_paths = 8;
+  t.rto = SimTime::micros(50);
+  t.max_retries = 100;
+  const EndpointId src = fabric.endpoint(0, 0, 0, 0);
+  const EndpointId dst = fabric.endpoint(1, 0, 0, 0);
+  auto conn = fleet.connect(src, dst, t);
+  ASSERT_TRUE(conn.is_ok());
+
+  FaultInjector injector(sim, fabric);
+  injector.register_engine(&fleet.at(src));
+  injector.register_engine(&fleet.at(dst));
+  FaultPlan plan;
+  FaultEvent e;
+  e.at = SimTime::micros(120);
+  e.kind = FaultKind::kRnicReset;
+  e.label = "rx_reset";
+  e.engine = 1;  // receiver: ingress blackout, sender rides RTO across it
+  e.duration = SimTime::micros(200);
+  plan.events.push_back(e);
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  bool done = false;
+  conn.value()->post_write(16_MiB, [&] { done = true; });
+
+  RegionMode after_fault = RegionMode::kFluid;
+  sim.schedule_after(SimTime::micros(121),
+                     [&] { after_fault = driver.region_mode(0); });
+
+  AuditRegistry audits;
+  add_audits(audits, sim, fabric, fleet);
+  audits.attach_periodic(sim, SimTime::micros(50));
+  sim.run_until(SimTime::millis(20));
+
+  EXPECT_EQ(after_fault, RegionMode::kPacket)
+      << "RNIC reset did not force packet zoom";
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(conn.value()->status().is_ok());
+  EXPECT_EQ(fleet.at(dst).device_resets(), 1u);
+  EXPECT_GE(driver.transitions(), 2u);
+
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(audits.total_findings(), 0u);
+}
+
+TEST(HybridFaultTest, SenderResetErrorsFrozenClientWithoutWedgingRegion) {
+  Simulator sim;
+  ClosFabric fabric(sim, small_fabric());
+  HybridDriver driver(sim, fabric, HybridConfig{});
+  EngineFleet fleet(sim, fabric);
+
+  TransportConfig t;
+  t.algo = MultipathAlgo::kObs;
+  t.num_paths = 8;
+  // Victim on host (0,0); bystander pair on different hosts of the same
+  // region keeps flowing after the victim's QPs fail fast.
+  auto victim = fleet.connect(fabric.endpoint(0, 0, 0, 0),
+                              fabric.endpoint(1, 0, 0, 0), t);
+  auto bystander = fleet.connect(fabric.endpoint(0, 1, 0, 0),
+                                 fabric.endpoint(1, 1, 0, 0), t);
+  ASSERT_TRUE(victim.is_ok());
+  ASSERT_TRUE(bystander.is_ok());
+
+  FaultInjector injector(sim, fabric);
+  injector.register_engine(&fleet.at(fabric.endpoint(0, 0, 0, 0)));
+  FaultPlan plan;
+  FaultEvent e;
+  e.at = SimTime::micros(100);
+  e.kind = FaultKind::kRnicReset;
+  e.label = "tx_reset";
+  e.engine = 0;  // sender-side: local QPs fail fast into error
+  e.duration = SimTime::micros(100);
+  plan.events.push_back(e);
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  bool victim_done = false, victim_errored = false, bystander_done = false;
+  victim.value()->set_on_error([&](const Status&) { victim_errored = true; });
+  victim.value()->post_write(16_MiB, [&] { victim_done = true; });
+  bystander.value()->post_write(16_MiB, [&] { bystander_done = true; });
+
+  AuditRegistry audits;
+  add_audits(audits, sim, fabric, fleet);
+  audits.attach_periodic(sim, SimTime::micros(50));
+  sim.run_until(SimTime::millis(20));
+
+  EXPECT_TRUE(victim_errored) << "sender reset did not error the frozen QP";
+  EXPECT_FALSE(victim_done);
+  EXPECT_TRUE(victim.value()->in_error());
+  EXPECT_TRUE(bystander_done)
+      << "bystander flow wedged after a frozen peer errored";
+  EXPECT_TRUE(bystander.value()->status().is_ok());
+
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(audits.total_findings(), 0u);
+}
+
+// Mini chaos soak under hybrid fidelity: a scripted all-data-plane plan
+// (link flap, switch bounce, degradation window, receiver reset) against a
+// continuously restarting ring AllReduce. Every fault forces a transition;
+// between faults the quiet-epoch promoter climbs back to fluid — the soak
+// asserts survival, forward progress, and clean auditors across the whole
+// churn. This is the transition-path arm of the chaos plan (the full
+// random soak stays packet-only in chaos_soak_test.cc).
+TEST(HybridFaultTest, MiniChaosSoakTransitionsStayConservative) {
+  Simulator sim;
+  ClosFabric fabric(sim, small_fabric());
+  HybridDriver driver(sim, fabric, HybridConfig{});
+  EngineFleet fleet(sim, fabric);
+
+  std::vector<EndpointId> ranks;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ranks.push_back(fabric.endpoint(i % 2, i / 2, 0, 0));
+  }
+  AllReduceConfig cfg;
+  cfg.data_bytes = 2_MiB;
+  cfg.transport.algo = MultipathAlgo::kObs;
+  cfg.transport.num_paths = 8;
+  cfg.transport.max_retries = 64;
+
+  std::vector<std::unique_ptr<RingAllReduce>> rings;
+  std::uint64_t completions = 0, aborts = 0;
+  const SimTime soak_end = SimTime::millis(8);
+  std::function<void()> launch = [&] {
+    if (sim.now() >= soak_end) return;
+    rings.push_back(std::make_unique<RingAllReduce>(fleet, ranks, cfg));
+    RingAllReduce* ar = rings.back().get();
+    ar->start([&, ar] {
+      if (ar->status().is_ok()) {
+        ++completions;
+      } else {
+        ++aborts;
+      }
+      sim.schedule_after(SimTime::micros(5), [&] { launch(); });
+    });
+  };
+  launch();
+
+  FaultInjector injector(sim, fabric);
+  for (EndpointId rank : ranks) injector.register_engine(&fleet.at(rank));
+
+  FaultPlan plan;
+  {
+    FaultEvent e;
+    e.at = SimTime::micros(300);
+    e.kind = FaultKind::kLinkFlap;
+    e.label = "flap";
+    e.link = {LinkLayer::kTorUp, 0, 0, 0, 1};
+    e.duration = SimTime::micros(40);
+    e.flap_period = SimTime::micros(200);
+    e.flaps = 3;
+    plan.events.push_back(e);
+  }
+  {
+    FaultEvent e;
+    e.at = SimTime::millis(1);
+    e.kind = FaultKind::kSwitchDown;
+    e.label = "agg_bounce";
+    e.sw.agg = 2;
+    plan.events.push_back(e);
+    e.at = SimTime::millis(2);
+    e.kind = FaultKind::kSwitchUp;
+    plan.events.push_back(e);
+  }
+  {
+    FaultEvent e;
+    e.at = SimTime::millis(3);
+    e.kind = FaultKind::kDegrade;
+    e.label = "lossy_window";
+    e.link = {LinkLayer::kTorUp, 1, 0, 0, 3};
+    e.duration = SimTime::micros(300);
+    e.degrade_loss = 0.05;
+    plan.events.push_back(e);
+  }
+  {
+    FaultEvent e;
+    e.at = SimTime::millis(5);
+    e.kind = FaultKind::kRnicReset;
+    e.label = "rx_reset";
+    e.engine = 2;
+    e.duration = SimTime::micros(80);
+    plan.events.push_back(e);
+  }
+  ASSERT_TRUE(injector.arm(plan).is_ok());
+
+  AuditRegistry audits;
+  add_audits(audits, sim, fabric, fleet);
+  audits.set_trap_on_finding(false);
+  audits.attach_periodic(sim, SimTime::micros(100));
+  sim.run_until(SimTime::millis(30));
+
+  EXPECT_EQ(injector.events_executed(), plan.events.size());
+  EXPECT_GT(completions, 0u) << "soak never completed a collective";
+  // Every fault dropped the fabric to packet mode at least once, and the
+  // quiet-epoch promoter got it back to fluid in between.
+  EXPECT_GE(driver.transitions(), 4u);
+  EXPECT_GT(driver.fluid_time().ps(), 0);
+
+  const AuditReport report = audits.run_all();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(audits.total_findings(), 0u);
+}
+
+}  // namespace
+}  // namespace stellar

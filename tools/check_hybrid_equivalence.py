@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate: packet-fidelity vs hybrid-fidelity BENCH rows must agree.
+
+    check_hybrid_equivalence.py PACKET.json HYBRID.json [--tol-pct N]
+                                [--field goodput_gbps]
+
+Both files are BENCH_<name>.json outputs of the same bench run at
+different --fidelity settings. Rows are matched by every non-numeric key
+except "fidelity" (for fig09: algo + paths); the compared field must agree
+within --tol-pct percent on every row. On failure the full per-row table
+is printed so the drift is loud, then exit 1.
+
+Dependency-free (stdlib json only), like the rest of tools/.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("rows", [])
+    if not rows:
+        sys.exit(f"check_hybrid_equivalence: {path} has no rows")
+    return rows
+
+
+def row_key(row, field):
+    return tuple(
+        (k, v)
+        for k, v in sorted(row.items())
+        if k not in ("fidelity", field) and not isinstance(v, float)
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("packet")
+    ap.add_argument("hybrid")
+    ap.add_argument("--tol-pct", type=float, default=20.0)
+    ap.add_argument("--field", default="goodput_gbps")
+    args = ap.parse_args()
+
+    packet = {row_key(r, args.field): r for r in load_rows(args.packet)}
+    hybrid = {row_key(r, args.field): r for r in load_rows(args.hybrid)}
+    if set(packet) != set(hybrid):
+        sys.exit(
+            "check_hybrid_equivalence: row sets differ:\n"
+            f"  packet-only: {sorted(set(packet) - set(hybrid))}\n"
+            f"  hybrid-only: {sorted(set(hybrid) - set(packet))}"
+        )
+
+    failures = []
+    print(f"{'row':<40} {'packet':>10} {'hybrid':>10} {'delta%':>8}")
+    for key in sorted(packet):
+        p = float(packet[key][args.field])
+        h = float(hybrid[key][args.field])
+        if p == 0.0:
+            delta_pct = 0.0 if h == 0.0 else float("inf")
+        else:
+            delta_pct = 100.0 * abs(h - p) / p
+        label = ",".join(f"{k}={v}" for k, v in key)
+        flag = "" if delta_pct <= args.tol_pct else "  << OVER TOLERANCE"
+        print(f"{label:<40} {p:>10.3f} {h:>10.3f} {delta_pct:>7.2f}%{flag}")
+        if delta_pct > args.tol_pct:
+            failures.append(label)
+
+    if failures:
+        sys.exit(
+            f"check_hybrid_equivalence: {len(failures)}/{len(packet)} rows "
+            f"exceed the {args.tol_pct}% tolerance on {args.field}: "
+            + "; ".join(failures)
+        )
+    print(
+        f"check_hybrid_equivalence: all {len(packet)} rows within "
+        f"{args.tol_pct}% on {args.field}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,12 @@
 #      budget admission, kill_tenant reclaim) on their own, plus the
 #      adversarial-tenant bench run twice to prove BENCH_tenants.json is
 #      byte-deterministic
+#   6c. the hybrid-labelled fidelity tests (fluid-solver properties, the
+#      golden-equivalence harness, mode-transition fault regressions), plus
+#      the fig09-mini packet-vs-hybrid tolerance gate
+#      (tools/check_hybrid_equivalence.py), a run-twice hybrid BENCH JSON
+#      byte-determinism check, and a hybrid trace smoke asserting
+#      trace_summarize reports fluid fast-forward spans
 #   7. a fig09 mini trace dump + trace_summarize smoke (the tracer's
 #      byte-determinism and the summarizer's parser, end to end)
 #   7b. the parallel-engine determinism gate: fig09-mini at --threads=1
@@ -111,6 +117,37 @@ ten_smoke_dir="$(mktemp -d)"
   head -n 3 run1/BENCH_tenants.json)
 rm -rf "$ten_smoke_dir"
 
+step "hybrid fidelity suite (ctest -L hybrid)"
+ctest --test-dir build --output-on-failure -L hybrid
+
+step "hybrid equivalence gate (fig09 mini: packet vs hybrid, run-twice determinism)"
+hyb_dir="$(mktemp -d)"
+(cd "$hyb_dir" &&
+  mkdir packet hybrid1 hybrid2 &&
+  (cd packet && "$repo_root/build/bench/fig09_permutation" 0.02 \
+    --fidelity=packet > fig09.log) &&
+  (cd hybrid1 && "$repo_root/build/bench/fig09_permutation" 0.02 \
+    --fidelity=hybrid > fig09.log) &&
+  (cd hybrid2 && "$repo_root/build/bench/fig09_permutation" 0.02 \
+    --fidelity=hybrid > fig09.log) &&
+  # Hybrid fidelity must be byte-deterministic run-to-run...
+  cmp hybrid1/BENCH_fig09.json hybrid2/BENCH_fig09.json &&
+  # ...and agree with packet fidelity per row within the declared tolerance
+  # (docs/HYBRID.md; the mini scale uses a wider band than the unit tests
+  # because its measurement window is only ~40 us of sim time).
+  python3 "$repo_root/tools/check_hybrid_equivalence.py" \
+    packet/BENCH_fig09.json hybrid1/BENCH_fig09.json --tol-pct 25)
+rm -rf "$hyb_dir"
+
+step "hybrid trace smoke (fluid-epoch spans visible to trace_summarize)"
+hyb_trace_dir="$(mktemp -d)"
+(cd "$hyb_trace_dir" &&
+  "$repo_root/build/bench/fig09_permutation" 0.02 --fidelity=hybrid \
+    --trace=hyb_trace.json --trace-sample=256 > fig09_hybrid.log &&
+  "$repo_root/build/tools/trace_summarize" hyb_trace.json \
+    | grep '^\[fluid\]')
+rm -rf "$hyb_trace_dir"
+
 step "chaos-soak smoke (fixed seed 0xC0FFEE, >=100 events, audits ON)"
 build/tests/stellar_migrate_tests \
   --gtest_filter='ChaosSoakTest.SurvivesHundredEventPlanWithAuditsOn'
@@ -170,6 +207,8 @@ if [ "$skip_san" -eq 0 ]; then
   ctest --test-dir build-san --output-on-failure -L migrate
   step "multi-tenant isolation suite under sanitizers (ctest -L tenant)"
   ctest --test-dir build-san --output-on-failure -L tenant
+  step "hybrid fidelity suite under sanitizers (ctest -L hybrid)"
+  ctest --test-dir build-san --output-on-failure -L hybrid
 else
   step "sanitizer pass skipped (--skip-san)"
 fi
@@ -197,9 +236,10 @@ step "clang thread-safety analysis (-Werror=thread-safety, src/ libraries)"
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++
   cmake --build build-tsa -j"$jobs" --target \
-    stellar_common stellar_check stellar_sim stellar_obs stellar_memory \
-    stellar_pcie stellar_net stellar_rnic stellar_virt stellar_core \
-    stellar_collective stellar_workload stellar_audit stellar_fault
+    stellar_common stellar_check stellar_sim stellar_hybrid stellar_obs \
+    stellar_memory stellar_pcie stellar_net stellar_rnic stellar_virt \
+    stellar_core stellar_collective stellar_workload stellar_audit \
+    stellar_fault
 else
   echo "clang++ not installed; skipping thread-safety analysis build"
   echo "(the STELLAR_* annotations compile to nothing under gcc)"

@@ -67,7 +67,10 @@ LAYERING: dict[str, set[str]] = {
     # check is both the low-level CHECK macro (check.h -> common) and the
     # cross-layer invariant auditors (auditors.* walk every subsystem).
     "check": {"common", "core", "memory", "net", "rnic", "sim", "virt"},
-    "sim": {"common", "check"},
+    # sim -> net is the hybrid fidelity driver (sim/hybrid.* maps fluid
+    # flows onto real ClosFabric links); the core engine (simulator.*,
+    # parallel.*, fluid.*) stays net-free via the stellar_hybrid target.
+    "sim": {"common", "check", "net"},
     "obs": {"common", "check", "sim"},
     "memory": {"common", "check"},
     "pcie": {"common", "check", "memory", "obs"},

@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
       r.dur_total += dur;
       if (r.count == 1 || dur < r.dur_min) r.dur_min = dur;
       if (dur > r.dur_max) r.dur_max = dur;
+      if (ts + dur > ts_hi) ts_hi = ts + dur;  // spans extend the sim window
     } else if (ph == "C") {
       std::int64_t v = 0;
       find_int(line, "value", v);
@@ -184,6 +185,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Hybrid fidelity rollup: "fluid_epoch" / "packet_epoch" spans are the
+  // HybridDriver's mode windows, summed across fabric regions — so the
+  // totals are region-time, and the percentage is fluid's share of total
+  // region-time (each region contributes its whole lifetime to exactly
+  // one of the two buckets at any instant).
+  std::int64_t fluid_ps = 0;
+  std::int64_t packet_ps = 0;
+  std::uint64_t fluid_epochs = 0;
+  for (const auto& [key, r] : rollups) {
+    if (key.second == "fluid_epoch") {
+      fluid_ps += r.dur_total;
+      fluid_epochs += r.count;
+    } else if (key.second == "packet_epoch") {
+      packet_ps += r.dur_total;
+    }
+  }
+  double fluid_pct = 0.0;
+  if (fluid_epochs > 0 || packet_ps > 0) {
+    const std::int64_t mode_ps = fluid_ps + packet_ps;
+    fluid_pct = mode_ps > 0 ? 100.0 * static_cast<double>(fluid_ps) /
+                                  static_cast<double>(mode_ps)
+                            : 0.0;
+    std::printf(
+        "[fluid] %llu fluid epochs, %lld ps region-time fast-forwarded "
+        "(%.1f%% of %lld ps region-time; sim span %lld ps)\n",
+        static_cast<unsigned long long>(fluid_epochs),
+        static_cast<long long>(fluid_ps), fluid_pct,
+        static_cast<long long>(mode_ps),
+        static_cast<long long>(ts_hi - ts_lo));
+  }
+
   if (json_path != nullptr) {
     std::FILE* out = std::fopen(json_path, "wb");
     if (out == nullptr) {
@@ -208,7 +240,10 @@ int main(int argc, char** argv) {
           static_cast<long long>(r.last_value));
       first = false;
     }
-    std::fprintf(out, "\n  ]\n}\n");
+    std::fprintf(out, "\n  ],\n  \"fluid_epochs\": %llu, \"fluid_ps\": %lld, "
+                      "\"fluid_pct\": %.2f\n}\n",
+                 static_cast<unsigned long long>(fluid_epochs),
+                 static_cast<long long>(fluid_ps), fluid_pct);
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   }
